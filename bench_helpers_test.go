@@ -1,0 +1,47 @@
+// Helpers for the benchmark harness: subset wrappers for the multi-core
+// figures and the Early-Precharge conservatism sweep.
+
+package mcrdram_test
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/experiments"
+)
+
+// fig14Subset runs Fig 14 on the first n mixes.
+func fig14Subset(o experiments.Options, n int) (*experiments.Sweep, error) {
+	o.MaxMixes = n
+	return experiments.Fig14(o)
+}
+
+// fig15Subset runs Fig 15 on the first n mixes.
+func fig15Subset(o experiments.Options, n int) (*experiments.Sweep, error) {
+	o.MaxMixes = n
+	return experiments.Fig15(o)
+}
+
+// fig16Subset runs Fig 16 on the first n mixes.
+func fig16Subset(o experiments.Options, n int) (*experiments.Sweep, error) {
+	o.MaxMixes = n
+	return experiments.Fig16(o)
+}
+
+// leakMarginSweep derives the 4/4x tRAS for a range of Early-Precharge
+// conservatism factors κ, from fully conservative (no leakage credit
+// spent) to the paper's calibrated value and beyond. Returned in κ order,
+// conservative first, so the ablation bench reports both ends.
+func leakMarginSweep() ([]float64, error) {
+	var out []float64
+	for _, margin := range []float64{0.0, 0.2, 0.4, 0.64, 0.8} {
+		p := circuit.Default()
+		p.Margin = margin
+		tras, err := p.DeriveTRAS(4, 4)
+		if err != nil {
+			return nil, fmt.Errorf("margin %g: %w", margin, err)
+		}
+		out = append(out, tras)
+	}
+	return out, nil
+}

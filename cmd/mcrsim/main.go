@@ -1,0 +1,163 @@
+// Command mcrsim runs one MCR-DRAM system simulation from flags and prints
+// the metrics.
+//
+// Usage:
+//
+//	mcrsim -workload tigr -k 4 -m 4 -region 1.0 -insts 2000000
+//	mcrsim -workload comm2,leslie,black,mummer -multicore -k 2 -m 2 -region 0.5 -alloc 0.1
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/integrity"
+	"repro/internal/mcr"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		workloads = flag.String("workload", "tigr", "comma-separated Table 5 workload names, one per core")
+		k         = flag.Int("k", 1, "rows per MCR (1 disables MCR, 2 or 4)")
+		m         = flag.Int("m", 0, "refreshes kept per MCR per 64 ms window (default K)")
+		region    = flag.Float64("region", 1.0, "MCR region fraction L (0.25, 0.5, 0.75, 1)")
+		allocFrac = flag.Float64("alloc", 0, "profile-based page allocation ratio (0 disables)")
+		insts     = flag.Int64("insts", 2_000_000, "instructions per core")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		multicore = flag.Bool("multicore", false, "use the 16 GB quad-core geometry")
+		noEA      = flag.Bool("no-early-access", false, "disable Early-Access")
+		noEP      = flag.Bool("no-early-precharge", false, "disable Early-Precharge")
+		noFR      = flag.Bool("no-fast-refresh", false, "disable Fast-Refresh")
+		noRS      = flag.Bool("no-refresh-skipping", false, "disable Refresh-Skipping")
+		wiring    = flag.String("wiring", "n1k", `refresh counter wiring: "n1k" (paper) or "ktok" (ablation)`)
+		list      = flag.Bool("list", false, "list the workload catalogue and exit")
+		combined  = flag.Bool("combined", false, "use a combined 4x+2x layout (25% each) instead of -k/-m/-region")
+		alloc4    = flag.Float64("alloc4", 0.05, "combined layout: hottest fraction into the 4x band")
+		alloc2    = flag.Float64("alloc2", 0.15, "combined layout: next fraction into the 2x band")
+		check     = flag.Bool("check", false, "attach the retention-integrity checker")
+		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
+		histogram = flag.Bool("hist", false, "print the read-latency histogram")
+		full      = flag.Bool("report", false, "print the full run report instead of the summary")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range trace.Workloads() {
+			fmt.Printf("%-11s %-10s MPKI=%-4.0f rowhit=%.2f reads=%.0f%%\n", w.Name, w.Suite, w.MPKI, w.RowHit, w.ReadFrac*100)
+		}
+		return
+	}
+
+	names := strings.Split(*workloads, ",")
+	mode := mcr.Off()
+	if *k > 1 {
+		mm := *m
+		if mm == 0 {
+			mm = *k
+		}
+		var err error
+		mode, err = mcr.NewMode(*k, mm, *region)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	cfg := sim.DefaultConfig(names[0])
+	cfg.Workloads = names
+	cfg.InstsPerCore = *insts
+	cfg.Seed = *seed
+	cfg.AllocRatio = *allocFrac
+	cfg.DRAM = dram.DefaultConfig(mode)
+	if *combined {
+		layout, err := mcr.NewLayout(
+			mcr.Band{K: 4, M: 4, Region: 0.25},
+			mcr.Band{K: 2, M: 2, Region: 0.25},
+		)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.DRAM.Mode = mcr.Off()
+		cfg.DRAM.Layout = layout
+		cfg.AllocRatio = 0
+		cfg.AllocRatio4, cfg.AllocRatio2 = *alloc4, *alloc2
+	}
+	if *check {
+		ic := integrity.DefaultConfig()
+		cfg.Integrity = &ic
+	}
+	if *multicore {
+		cfg.DRAM.Geom = core.MultiCoreGeometry()
+	}
+	cfg.DRAM.Mech = dram.Mechanisms{
+		EarlyAccess:     !*noEA,
+		EarlyPrecharge:  !*noEP,
+		FastRefresh:     !*noFR,
+		RefreshSkipping: !*noRS,
+	}
+	switch *wiring {
+	case "n1k":
+		cfg.DRAM.Wiring = mcr.KtoN1K
+	case "ktok":
+		cfg.DRAM.Wiring = mcr.KtoK
+	default:
+		fatal(fmt.Errorf("unknown wiring %q", *wiring))
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *full {
+		if err := report.Write(os.Stdout, cfg, res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("workloads         : %s\n", strings.Join(res.Workloads, ", "))
+	fmt.Printf("mode              : %s\n", mode)
+	fmt.Printf("exec time         : %d CPU cycles (%.3f ms)\n", res.ExecCPUCycles, float64(res.ExecCPUCycles)/float64(core.CPUClockMHz)/1000)
+	fmt.Printf("IPC               : %.3f\n", res.IPC)
+	fmt.Printf("reads             : %d, avg latency %.1f ns\n", res.ReadCount, res.AvgReadLatencyNS)
+	fmt.Printf("row hits/misses   : %d/%d (conflicts %d)\n", res.Ctrl.RowHits, res.Ctrl.RowMisses, res.Ctrl.RowConflicts)
+	fmt.Printf("MCR request frac  : %.1f%%\n", res.MCRRequestFraction*100)
+	fmt.Printf("activates         : %d (%d MCR)\n", res.Dev.Activates, res.Dev.MCRActivates)
+	fmt.Printf("refreshes         : %d (%d MCR, %d skipped)\n", res.Dev.Refreshes, res.Dev.MCRRefreshes, res.Dev.SkippedRefreshes)
+	fmt.Printf("energy            : %.1f µJ (act %.1f, rd/wr %.1f, ref %.1f, bg %.1f)\n",
+		res.Energy.TotalNJ()/1e3, res.Energy.ActivateNJ/1e3, res.Energy.ReadWriteNJ/1e3, res.Energy.RefreshNJ/1e3, res.Energy.BackgroundNJ/1e3)
+	fmt.Printf("EDP               : %.3f nJ·s\n", res.EDPNJs)
+	if *check {
+		if len(res.Integrity) == 0 {
+			fmt.Println("integrity         : OK (no retention violations)")
+		} else {
+			fmt.Printf("integrity         : %d violations, first: %v\n", len(res.Integrity), res.Integrity[0])
+		}
+	}
+	if *histogram {
+		fmt.Printf("read latency p50/p95/p99: %.0f/%.0f/%.0f ns\n",
+			res.Latency.Percentile(50), res.Latency.Percentile(95), res.Latency.Percentile(99))
+		fmt.Print(res.Latency)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcrsim:", err)
+	os.Exit(1)
+}

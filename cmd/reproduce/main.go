@@ -1,0 +1,196 @@
+// Command reproduce regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	reproduce -fig 11              # one figure (8, 10..18) or table (3)
+//	reproduce -all                 # everything
+//	reproduce -fig 11 -insts 2000000 -metric readlat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/mcr"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure/table number: 3 (Table 3), 8, 10, 11, 12, 13, 14, 15, 16, 17, 18")
+		all     = flag.Bool("all", false, "regenerate everything")
+		extra   = flag.String("extra", "", `beyond-the-paper study: "combined", "tldram", "wiring", "scheduler", "rowpolicy" or "repeat"`)
+		insts   = flag.Int64("insts", 0, "instructions per core (0 = default)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		seeds   = flag.Int("seeds", 5, "seeds for -extra repeat")
+		metric  = flag.String("metric", "exec", "sweep metric: exec, readlat or edp")
+		verbose = flag.Bool("v", false, "print per-simulation progress")
+	)
+	flag.Parse()
+
+	opt := experiments.Options{Insts: *insts, Seed: *seed}
+	if *verbose {
+		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+	}
+
+	if *extra != "" {
+		if err := runExtra(*extra, opt, *metric, *seeds); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: extra %s: %v\n", *extra, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	figs := []int{3, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+	if !*all {
+		if *fig == 0 {
+			fmt.Fprintln(os.Stderr, "reproduce: pass -fig N, -extra NAME or -all")
+			os.Exit(2)
+		}
+		figs = []int{*fig}
+	}
+	for _, f := range figs {
+		if err := run(f, opt, *metric); err != nil {
+			fmt.Fprintf(os.Stderr, "reproduce: fig %d: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+func run(fig int, opt experiments.Options, metric string) error {
+	names := trace.SingleCoreNames()
+	switch fig {
+	case 3:
+		rows, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		return experiments.WriteTable3(os.Stdout, rows)
+	case 8:
+		return experiments.WriteFig8(os.Stdout, experiments.Fig8())
+	case 10:
+		for _, tr := range experiments.Fig10(50, 2.5) {
+			fmt.Printf("Fig 10 transient, %dx MCR (t ns, Vbit, Vcell):\n", tr.K)
+			for i := range tr.T {
+				fmt.Printf("  %6.2f  %6.4f  %6.4f\n", tr.T[i], tr.VBit[i], tr.VCell[i])
+			}
+		}
+		return nil
+	case 11:
+		s, err := experiments.Fig11(opt, names)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case 12:
+		s, err := experiments.Fig12(opt, names)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case 13:
+		s, err := experiments.Fig13(opt, names)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case 14:
+		s, err := experiments.Fig14(opt)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case 15:
+		s, err := experiments.Fig15(opt)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case 16:
+		s, err := experiments.Fig16(opt)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case 17:
+		for _, mc := range []bool{false, true} {
+			s, err := experiments.Fig17(opt, mc, names)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteSweep(os.Stdout, s, "exec"); err != nil {
+				return err
+			}
+		}
+		return nil
+	case 18:
+		for _, mc := range []bool{false, true} {
+			s, err := experiments.Fig18(opt, mc, names)
+			if err != nil {
+				return err
+			}
+			if err := experiments.WriteSweep(os.Stdout, s, "edp"); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown figure %d", fig)
+}
+
+// runExtra runs one beyond-the-paper study.
+func runExtra(name string, opt experiments.Options, metric string, seeds int) error {
+	names := trace.SingleCoreNames()
+	switch name {
+	case "combined":
+		s, err := experiments.CombinedLayout(opt, names)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case "tldram":
+		s, err := experiments.TLDRAMComparison(opt, names)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case "wiring", "scheduler", "rowpolicy":
+		kind := map[string]experiments.AblationKind{
+			"wiring":    experiments.AblationWiring,
+			"scheduler": experiments.AblationScheduler,
+			"rowpolicy": experiments.AblationRowPolicy,
+		}[name]
+		s, err := experiments.Ablation(opt, kind, names)
+		if err != nil {
+			return err
+		}
+		return writeBoth(s, metric)
+	case "repeat":
+		for _, w := range []string{"tigr", "comm2", "black"} {
+			exec, readlat, edp, err := experiments.RepeatedComparison(opt, w, mcr.MustMode(4, 4, 1), seeds)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-8s mode [4/4x/100%%reg] exec %% : %v\n", w, exec)
+			fmt.Printf("%-8s mode [4/4x/100%%reg] rdlat %%: %v\n", w, readlat)
+			fmt.Printf("%-8s mode [4/4x/100%%reg] EDP %%  : %v\n", w, edp)
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown extra study %q", name)
+}
+
+// writeBoth prints the requested metric, or exec+readlat tables when the
+// default is selected (the paper's figures show both).
+func writeBoth(s *experiments.Sweep, metric string) error {
+	if metric != "exec" {
+		return experiments.WriteSweep(os.Stdout, s, metric)
+	}
+	if err := experiments.WriteSweep(os.Stdout, s, "exec"); err != nil {
+		return err
+	}
+	return experiments.WriteSweep(os.Stdout, s, "readlat")
+}

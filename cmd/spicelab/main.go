@@ -1,0 +1,76 @@
+// Command spicelab drives the circuit-level ("SPICE-lite") model: it prints
+// the Fig 10 activation transients, the Table 3 timing derivation, and —
+// with -fit — re-runs the calibration search that produced the default
+// parameters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		fig10   = flag.Bool("fig10", false, "print the Fig 10 transients")
+		table3  = flag.Bool("table3", false, "print the Table 3 derivation")
+		fit     = flag.Bool("fit", false, "re-run the calibration search (slow)")
+		horizon = flag.Float64("horizon", 50, "transient horizon in ns")
+		step    = flag.Float64("step", 1.0, "transient sample step in ns")
+	)
+	flag.Parse()
+	if !*fig10 && !*table3 && !*fit {
+		*fig10, *table3 = true, true
+	}
+
+	if *table3 {
+		rows, err := experiments.Table3()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spicelab:", err)
+			os.Exit(1)
+		}
+		if err := experiments.WriteTable3(os.Stdout, rows); err != nil {
+			fmt.Fprintln(os.Stderr, "spicelab:", err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	if *fig10 {
+		p := circuit.Default()
+		fmt.Printf("Fig 10: activation transients (VDD=%.2f V, accessible=%.3f V)\n", p.VDD, p.VAccessFrac*p.VDD)
+		plotTrs := experiments.Fig10(*horizon, *horizon/72)
+		fmt.Println("\n(a) bitline voltage (glyph = K):")
+		fmt.Print(circuit.PlotTransients(plotTrs, func(t *circuit.Transient) []float64 { return t.VBit }, 16, p.VDD))
+		fmt.Println("\n(b) cell voltage (glyph = K):")
+		fmt.Print(circuit.PlotTransients(plotTrs, func(t *circuit.Transient) []float64 { return t.VCell }, 16, p.VDD))
+		fmt.Println()
+		trs := experiments.Fig10(*horizon, *step)
+		fmt.Printf("%8s", "t(ns)")
+		for _, tr := range trs {
+			fmt.Printf("  %7s %7s", fmt.Sprintf("Vb(%dx)", tr.K), fmt.Sprintf("Vc(%dx)", tr.K))
+		}
+		fmt.Println()
+		for i := range trs[0].T {
+			fmt.Printf("%8.2f", trs[0].T[i])
+			for _, tr := range trs {
+				fmt.Printf("  %7.4f %7.4f", tr.VBit[i], tr.VCell[i])
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+		for _, k := range []int{1, 2, 4} {
+			fmt.Printf("charge-sharing dV (%dx): %.4f V\n", k, p.ChargeSharingDeltaV(k))
+		}
+	}
+
+	if *fit {
+		fmt.Println("re-running calibration (coordinate descent on Table 3 targets)...")
+		p, res := circuit.Fit(circuit.Default())
+		fmt.Printf("residual (max relative deviation): %.4f\n", res)
+		fmt.Printf("parameters: %+v\n", p)
+	}
+}

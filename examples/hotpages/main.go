@@ -1,0 +1,51 @@
+// Hotpages: profile-guided page allocation (paper Sec. 4.4 / Fig 12).
+//
+// comm2 is the paper's showcase for skewed working sets — its hottest 10%
+// of rows receive ~88% of its requests (footnote 9). This example sweeps
+// the pseudo profile-based allocation ratio under mode [4/4x/50%reg] and
+// shows how a small allocation budget captures most of the benefit of a
+// full-region MCR device at half the capacity cost.
+//
+// Run with: go run ./examples/hotpages
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcrdram "repro"
+)
+
+func main() {
+	const workload = "comm2"
+	const insts = 800_000
+
+	baseline := mcrdram.SingleCore(workload, mcrdram.ModeOff())
+	baseline.InstsPerCore = insts
+	base, err := mcrdram.Simulate(baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mode, err := mcrdram.NewMode(4, 4, 0.5) // mode [4/4x/50%reg]
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload %s, %s, baseline exec %d CPU cycles\n\n", workload, mode, base.ExecCPUCycles)
+	fmt.Printf("%-12s %14s %14s %14s\n", "alloc ratio", "exec red. %", "readlat red. %", "MCR reads %")
+	for _, ratio := range []float64{0, 0.1, 0.2, 0.3} {
+		cfg := mcrdram.SingleCore(workload, mode)
+		cfg.InstsPerCore = insts
+		cfg.AllocRatio = ratio
+		res, err := mcrdram.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		execRed := float64(base.ExecCPUCycles-res.ExecCPUCycles) / float64(base.ExecCPUCycles) * 100
+		latRed := (base.AvgReadLatencyNS - res.AvgReadLatencyNS) / base.AvgReadLatencyNS * 100
+		fmt.Printf("%-12.0f %14.2f %14.2f %14.1f\n", ratio*100, execRed, latRed, res.MCRRequestFraction*100)
+	}
+	fmt.Println("\nThe jump from 0% to 10% captures the hot set; further ratios add little —")
+	fmt.Println("the diminishing-returns shape of the paper's Fig 12.")
+}

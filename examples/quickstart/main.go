@@ -1,0 +1,50 @@
+// Quickstart: compare a conventional DDR3 system against MCR-DRAM in mode
+// [4/4x/100%reg] on the paper's most memory-bound workload and print the
+// three headline metrics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcrdram "repro"
+)
+
+func main() {
+	const workload = "tigr"
+	const insts = 1_000_000
+
+	baseline := mcrdram.SingleCore(workload, mcrdram.ModeOff())
+	baseline.InstsPerCore = insts
+	base, err := mcrdram.Simulate(baseline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mode, err := mcrdram.NewMode(4, 4, 1.0) // mode [4/4x/100%reg]
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mcrdram.SingleCore(workload, mode)
+	cfg.InstsPerCore = insts
+	res, err := mcrdram.Simulate(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pct := func(b, v float64) float64 { return (b - v) / b * 100 }
+	fmt.Printf("workload %s, %d instructions\n\n", workload, insts)
+	fmt.Printf("%-22s %15s %15s %10s\n", "metric", "baseline", mode.String(), "reduction")
+	fmt.Printf("%-22s %15d %15d %9.1f%%\n", "exec time (CPU cyc)",
+		base.ExecCPUCycles, res.ExecCPUCycles,
+		pct(float64(base.ExecCPUCycles), float64(res.ExecCPUCycles)))
+	fmt.Printf("%-22s %15.1f %15.1f %9.1f%%\n", "avg read latency (ns)",
+		base.AvgReadLatencyNS, res.AvgReadLatencyNS,
+		pct(base.AvgReadLatencyNS, res.AvgReadLatencyNS))
+	fmt.Printf("%-22s %15.2f %15.2f %9.1f%%\n", "EDP (nJ*s)",
+		base.EDPNJs, res.EDPNJs, pct(base.EDPNJs, res.EDPNJs))
+	fmt.Printf("\nMCR served %.1f%% of reads; %d of %d refreshes used Fast-Refresh\n",
+		res.MCRRequestFraction*100, res.Dev.MCRRefreshes, res.Dev.Refreshes)
+}

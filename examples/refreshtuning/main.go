@@ -1,0 +1,55 @@
+// Refreshtuning: the Fast-Refresh / Refresh-Skipping trade-off (paper
+// Sec. 4.3, Figs 9/13/16).
+//
+// A 4x MCR is naturally refreshed four times per 64 ms window. Keeping all
+// four (mode [4/4x]) buys the tightest tRAS/tRFC; skipping down to two or
+// one (modes [2/4x], [1/4x]) frees command slots and refresh energy but
+// loosens the timing because the cells must be restored further. This
+// example sweeps M on a 16 GB device — where refresh is most expensive —
+// and prints both sides of the trade.
+//
+// Run with: go run ./examples/refreshtuning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mcrdram "repro"
+)
+
+func main() {
+	mix := []string{"comm2", "leslie", "stream", "tigr"}
+	const insts = 250_000
+
+	baseCfg := mcrdram.MultiCore(mix, mcrdram.ModeOff(), false)
+	baseCfg.InstsPerCore = insts
+	base, err := mcrdram.Simulate(baseCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("quad-core mix %v on the 16 GB device, baseline exec %d cycles\n\n", mix, base.ExecCPUCycles)
+	fmt.Printf("%-18s %12s %12s %14s %14s %12s\n",
+		"mode", "exec red. %", "EDP red. %", "REFs issued", "REFs skipped", "ref energy µJ")
+	for _, m := range []int{4, 2, 1} {
+		mode, err := mcrdram.NewMode(4, m, 1.0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := mcrdram.MultiCore(mix, mode, false)
+		cfg.InstsPerCore = insts
+		res, err := mcrdram.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		execRed := float64(base.ExecCPUCycles-res.ExecCPUCycles) / float64(base.ExecCPUCycles) * 100
+		edpRed := (base.EDPNJs - res.EDPNJs) / base.EDPNJs * 100
+		fmt.Printf("%-18s %12.2f %12.2f %14d %14d %12.1f\n",
+			mode, execRed, edpRed, res.Dev.Refreshes, res.Dev.SkippedRefreshes,
+			res.Energy.RefreshNJ/1e3)
+	}
+	fmt.Println("\nSkipping halves the refresh command stream and its energy, but the")
+	fmt.Println("relaxed-timing loss usually outweighs it unless refresh dominates —")
+	fmt.Println("the tension the paper's Figs 13 and 16 explore.")
+}

@@ -1,0 +1,120 @@
+package mcrdram_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	mcrdram "repro"
+)
+
+func TestWithIntegrityCheck(t *testing.T) {
+	mode, _ := mcrdram.NewMode(4, 4, 1)
+	cfg := mcrdram.WithIntegrityCheck(mcrdram.SingleCore("stream", mode))
+	cfg.InstsPerCore = 60_000
+	res, err := mcrdram.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Integrity == nil {
+		t.Fatal("checker was attached; report must be non-nil")
+	}
+	if len(res.Integrity) != 0 {
+		t.Fatalf("schedule must be retention-safe: %v", res.Integrity[0])
+	}
+}
+
+func TestGovernorFacade(t *testing.T) {
+	g, err := mcrdram.NewGovernor(mcrdram.GovernorDefaults(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Mode().K != 4 {
+		t.Fatal("governor must start at 4x")
+	}
+	if g.Evaluate(0.99).String() != "relax" {
+		t.Fatal("pressure must trigger a relax")
+	}
+}
+
+func TestTLDRAMFacade(t *testing.T) {
+	cfg := mcrdram.TLDRAMLike("tigr", mcrdram.TLDRAMDefaults())
+	cfg.InstsPerCore = 60_000
+	res, err := mcrdram.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := mcrdram.SingleCore("tigr", mcrdram.ModeOff())
+	base.InstsPerCore = 60_000
+	bres, err := mcrdram.Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecCPUCycles >= bres.ExecCPUCycles {
+		t.Fatalf("TL-DRAM-like (%d) must beat the baseline (%d)", res.ExecCPUCycles, bres.ExecCPUCycles)
+	}
+}
+
+func TestWriteReportFacade(t *testing.T) {
+	mode, _ := mcrdram.NewMode(2, 2, 1)
+	cfg := mcrdram.SingleCore("black", mode)
+	cfg.InstsPerCore = 40_000
+	res, err := mcrdram.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mcrdram.WriteReport(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mode [2/2x/100%reg]") {
+		t.Fatal("report missing the mode")
+	}
+	base := mcrdram.SingleCore("black", mcrdram.ModeOff())
+	base.InstsPerCore = 40_000
+	bres, err := mcrdram.Simulate(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := mcrdram.WriteComparison(&buf, "2/2x", bres, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "exec time reduction") {
+		t.Fatal("comparison missing the headline")
+	}
+}
+
+func TestCombinedLayoutFacade(t *testing.T) {
+	layout, err := mcrdram.NewLayout(
+		mcrdram.Band{K: 4, M: 4, Region: 0.25},
+		mcrdram.Band{K: 2, M: 2, Region: 0.25},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mcrdram.CombinedLayout("comm2", layout, 0.05, 0.15)
+	cfg.InstsPerCore = 60_000
+	res, err := mcrdram.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MCRRequestFraction <= 0 {
+		t.Fatal("combined layout must serve requests from MCRs")
+	}
+}
+
+func TestNUATFacade(t *testing.T) {
+	cfg := mcrdram.NUATLike("tigr", mcrdram.NUATDefaults())
+	cfg.InstsPerCore = 60_000
+	res, err := mcrdram.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ReadCount == 0 {
+		t.Fatal("NUAT-like run produced no reads")
+	}
+	if res.MCRRequestFraction != 0 {
+		t.Fatal("NUAT devices have no MCRs")
+	}
+}

@@ -1,0 +1,57 @@
+// ASCII rendering of activation transients so cmd/spicelab can show the
+// Fig 10 curves directly in a terminal.
+
+package circuit
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PlotTransients renders one or more waveforms (one column of samples per
+// series) as an ASCII chart of height rows. Each series gets a distinct
+// glyph; pick selects which trace of a Transient to plot.
+func PlotTransients(trs []*Transient, pick func(*Transient) []float64, height int, vdd float64) string {
+	if len(trs) == 0 || height < 4 {
+		return ""
+	}
+	width := len(trs[0].T)
+	glyphs := []byte{'1', '2', '4', '8'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, tr := range trs {
+		vals := pick(tr)
+		g := glyphs[si%len(glyphs)]
+		for x := 0; x < width && x < len(vals); x++ {
+			frac := vals[x] / vdd
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			y := int(frac * float64(height-1))
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+	var b strings.Builder
+	for i, row := range grid {
+		v := vdd * float64(height-1-i) / float64(height-1)
+		fmt.Fprintf(&b, "%5.2fV |%s|\n", v, string(row))
+	}
+	// Time axis.
+	last := trs[0].T[width-1]
+	fmt.Fprintf(&b, "%7s+%s+\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s0 ns%s%.0f ns\n", "", strings.Repeat(" ", maxInt(1, width-9)), last)
+	return b.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

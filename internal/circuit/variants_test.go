@@ -1,0 +1,121 @@
+package circuit
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHighTemperaturePreset(t *testing.T) {
+	p := HighTemperature()
+	if p.RetentionMs != 32 {
+		t.Fatalf("high-temperature retention = %g ms, want 32", p.RetentionMs)
+	}
+	// The interval math follows: a 2/2x cell now sees 16 ms.
+	if got := p.MaxRefreshIntervalMs(2, 2); got != 16 {
+		t.Fatalf("2/2x interval at high temperature = %g ms, want 16", got)
+	}
+	// Shorter intervals mean the restore targets sit lower relative to
+	// the same-m normal-temperature case... but relative *fractions* of
+	// the window are identical, so tRAS derivations must match Default.
+	nt, err := Default().DeriveTRAS(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ht, err := p.DeriveTRAS(2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nt-ht) > 1e-9 {
+		t.Fatalf("tRAS must depend on the interval *fraction*: %g vs %g", nt, ht)
+	}
+}
+
+// TestZeroCaseMirrors: the data '0' waveform is the exact mirror of the
+// data '1' waveform around VDD/2.
+func TestZeroCaseMirrors(t *testing.T) {
+	p := Default()
+	one := p.Simulate(4, 30, 1)
+	zero := p.SimulateZero(4, 30, 1)
+	if len(one.T) != len(zero.T) {
+		t.Fatal("sample counts differ")
+	}
+	for i := range one.T {
+		if math.Abs((one.VBit[i]+zero.VBit[i])-p.VDD) > 1e-9 {
+			t.Fatalf("bitline not mirrored at %g ns", one.T[i])
+		}
+		if math.Abs((one.VCell[i]+zero.VCell[i])-p.VDD) > 1e-9 {
+			t.Fatalf("cell not mirrored at %g ns", one.T[i])
+		}
+	}
+	// Data '0' starts discharged and the bitline dips below VDD/2.
+	if zero.VCell[0] != 0 {
+		t.Fatal("data '0' cell must start at 0 V")
+	}
+	min := p.VDD
+	for _, v := range zero.VBit {
+		if v < min {
+			min = v
+		}
+	}
+	if min >= p.VDD/2 {
+		t.Fatal("data '0' must pull the bitline below VDD/2")
+	}
+}
+
+// TestPolarityIndependentTiming: tRCD is identical for '1' and '0' — the
+// design property the paper cites ("almost the same timing constraints
+// irrelevant to data values").
+func TestPolarityIndependentTiming(t *testing.T) {
+	p := Default()
+	for _, k := range []int{1, 2, 4} {
+		one, err := p.SenseTime(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		zero, err := p.SenseTimeZero(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(one-zero) > p.Dt+1e-9 {
+			t.Fatalf("K=%d: tRCD '1' %.3f vs '0' %.3f differ beyond one step", k, one, zero)
+		}
+	}
+}
+
+func TestPlotTransients(t *testing.T) {
+	p := Default()
+	trs := []*Transient{p.Simulate(1, 40, 1), p.Simulate(4, 40, 1)}
+	out := PlotTransients(trs, func(tr *Transient) []float64 { return tr.VBit }, 12, p.VDD)
+	if out == "" {
+		t.Fatal("empty plot")
+	}
+	lines := 0
+	for _, c := range out {
+		if c == '\n' {
+			lines++
+		}
+	}
+	if lines != 12+2 { // height rows + axis + label
+		t.Fatalf("plot has %d lines, want 14", lines)
+	}
+	// Both glyphs appear.
+	if !containsByte(out, '1') || !containsByte(out, '4') {
+		t.Fatal("both series must be plotted")
+	}
+	// Degenerate inputs return empty.
+	if PlotTransients(nil, nil, 12, p.VDD) != "" {
+		t.Fatal("no series must render nothing")
+	}
+	if PlotTransients(trs, func(tr *Transient) []float64 { return tr.VBit }, 2, p.VDD) != "" {
+		t.Fatal("tiny heights must render nothing")
+	}
+}
+
+func containsByte(s string, b byte) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return true
+		}
+	}
+	return false
+}

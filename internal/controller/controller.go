@@ -1,0 +1,276 @@
+// Package controller is the memory controller of the simulated system: per
+// channel read/write queues with watermark-based write draining, an
+// FR-FCFS command scheduler (Rixner et al.), JEDEC refresh management with
+// the paper's Refresh-Skipping hook, the physical address mapping, the
+// profile-based row allocation hook, and the "multiple latency" support the
+// paper adds (per-request MCR awareness; the MCR timing itself lives in the
+// device model).
+package controller
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// SchedulerPolicy selects the command scheduling algorithm.
+type SchedulerPolicy int
+
+// Supported schedulers.
+const (
+	// FRFCFS prefers ready row-buffer hits, then the oldest request —
+	// the paper's policy.
+	FRFCFS SchedulerPolicy = iota
+	// FCFS serves strictly in arrival order (ablation).
+	FCFS
+)
+
+// String names the scheduler policy.
+func (p SchedulerPolicy) String() string {
+	if p == FCFS {
+		return "FCFS"
+	}
+	return "FR-FCFS"
+}
+
+// RowPolicy selects what happens to a row after a column access.
+type RowPolicy int
+
+// Supported row policies.
+const (
+	// OpenPage leaves rows open until a conflict or refresh (paper
+	// baseline).
+	OpenPage RowPolicy = iota
+	// ClosePage precharges as soon as no queued request wants the open
+	// row (ablation).
+	ClosePage
+)
+
+// String names the row policy.
+func (p RowPolicy) String() string {
+	if p == ClosePage {
+		return "close-page"
+	}
+	return "open-page"
+}
+
+// Config mirrors paper Table 4's memory-controller row.
+type Config struct {
+	ReadQueueCap  int // 32
+	WriteQueueCap int // 32
+	HighWatermark int // 24: enter write drain
+	LowWatermark  int // 8: leave write drain
+	Mapping       MappingPolicy
+	Scheduler     SchedulerPolicy
+	RowPolicy     RowPolicy
+	// MaxRefreshDebt is how many tREFI intervals may elapse before a
+	// refresh becomes mandatory (JEDEC allows postponing up to 8).
+	MaxRefreshDebt int
+	// StarvationLimit caps FR-FCFS hit-first reordering: once the oldest
+	// request has waited this many memory cycles, row hits may no longer
+	// bypass it. 0 disables the cap (pure FR-FCFS, the paper's policy).
+	StarvationLimit int64
+}
+
+// DefaultConfig returns the paper's controller configuration.
+func DefaultConfig() Config {
+	return Config{
+		ReadQueueCap:   32,
+		WriteQueueCap:  32,
+		HighWatermark:  24,
+		LowWatermark:   8,
+		Mapping:        PageInterleave,
+		Scheduler:      FRFCFS,
+		RowPolicy:      OpenPage,
+		MaxRefreshDebt: 8,
+	}
+}
+
+// Validate checks the controller configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.ReadQueueCap <= 0 || c.WriteQueueCap <= 0:
+		return fmt.Errorf("controller: queue capacities must be positive (%d, %d)", c.ReadQueueCap, c.WriteQueueCap)
+	case c.HighWatermark <= c.LowWatermark:
+		return fmt.Errorf("controller: high watermark %d must exceed low watermark %d", c.HighWatermark, c.LowWatermark)
+	case c.HighWatermark > c.WriteQueueCap:
+		return fmt.Errorf("controller: high watermark %d exceeds write queue capacity %d", c.HighWatermark, c.WriteQueueCap)
+	case c.LowWatermark < 0:
+		return fmt.Errorf("controller: low watermark must be non-negative, got %d", c.LowWatermark)
+	case c.MaxRefreshDebt < 1:
+		return fmt.Errorf("controller: MaxRefreshDebt must be at least 1, got %d", c.MaxRefreshDebt)
+	}
+	return nil
+}
+
+// request is one queued memory request.
+type request struct {
+	id       int64
+	kind     core.OpKind
+	addr     core.Address
+	coreID   int
+	arriveAt int64
+}
+
+// Completion reports a finished read back to the CPU model.
+type Completion struct {
+	ID       int64
+	CoreID   int
+	DoneAt   int64 // memory cycle the data burst completed
+	ArriveAt int64
+}
+
+// rankRefresh tracks the refresh obligation of one rank.
+type rankRefresh struct {
+	nextDue int64 // cycle the next tREFI interval elapses
+	debt    int   // intervals elapsed but not yet refreshed
+	counter int   // REF sequence number (13-bit window position)
+}
+
+// Stats aggregates controller-level counters.
+type Stats struct {
+	ReadsQueued      int64
+	WritesQueued     int64
+	ReadsDone        int64
+	WritesDone       int64
+	RowHits          int64
+	RowMisses        int64
+	RowConflicts     int64
+	MCRReads         int64 // column reads served from MCR rows
+	TotalReadLatency int64 // memory cycles, arrival to data completion
+	ForcedRefreshes  int64
+}
+
+// Controller drives one dram.Device.
+type Controller struct {
+	cfg    Config
+	dev    *dram.Device
+	geom   core.Geometry
+	mapper *AddressMapper
+	rows   *alloc.RowMap
+
+	readQ  [][]request // per channel
+	writeQ [][]request
+	drain  []bool // per channel write-drain mode
+
+	refresh []rankRefresh // per (channel, rank)
+
+	nextID      int64
+	completions []Completion
+	stats       Stats
+	tREFI       int64
+}
+
+// New builds a controller over a device, applying the given row allocation
+// (nil for identity).
+func New(cfg Config, dev *dram.Device, rows *alloc.RowMap) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	geom := dev.Config().Geom
+	mapper, err := NewAddressMapper(geom, cfg.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	if rows == nil {
+		rows = alloc.Identity(geom)
+	}
+	c := &Controller{
+		cfg:     cfg,
+		dev:     dev,
+		geom:    geom,
+		mapper:  mapper,
+		rows:    rows,
+		readQ:   make([][]request, geom.Channels),
+		writeQ:  make([][]request, geom.Channels),
+		drain:   make([]bool, geom.Channels),
+		refresh: make([]rankRefresh, geom.Channels*geom.Ranks),
+		tREFI:   int64(dev.Timings().Normal.TREFI),
+	}
+	for i := range c.refresh {
+		c.refresh[i].nextDue = c.tREFI
+	}
+	return c, nil
+}
+
+// Device returns the controlled device.
+func (c *Controller) Device() *dram.Device { return c.dev }
+
+// Mapper returns the address mapper.
+func (c *Controller) Mapper() *AddressMapper { return c.mapper }
+
+// Stats returns a copy of the counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// decode maps a line number to its final DRAM coordinates, applying the
+// profile-based row allocation.
+func (c *Controller) decode(line int64) core.Address {
+	return c.rows.Map(c.mapper.Decode(line))
+}
+
+// CanEnqueueRead reports whether the read queue for line's channel has room.
+func (c *Controller) CanEnqueueRead(line int64) bool {
+	return len(c.readQ[c.decode(line).Channel]) < c.cfg.ReadQueueCap
+}
+
+// CanEnqueueWrite reports whether the write queue for line's channel has room.
+func (c *Controller) CanEnqueueWrite(line int64) bool {
+	return len(c.writeQ[c.decode(line).Channel]) < c.cfg.WriteQueueCap
+}
+
+// EnqueueRead queues a read and returns its completion id; ok is false when
+// the queue is full.
+func (c *Controller) EnqueueRead(line int64, coreID int, now int64) (int64, bool) {
+	a := c.decode(line)
+	if len(c.readQ[a.Channel]) >= c.cfg.ReadQueueCap {
+		return 0, false
+	}
+	// Read-around-write: a pending write to the same line can serve the
+	// read immediately (store forwarding at the controller).
+	for _, w := range c.writeQ[a.Channel] {
+		if w.addr == a {
+			id := c.nextID
+			c.nextID++
+			c.completions = append(c.completions, Completion{ID: id, CoreID: coreID, DoneAt: now + 1, ArriveAt: now})
+			c.stats.ReadsQueued++
+			c.stats.ReadsDone++
+			c.stats.TotalReadLatency++
+			return id, true
+		}
+	}
+	id := c.nextID
+	c.nextID++
+	c.readQ[a.Channel] = append(c.readQ[a.Channel], request{id: id, kind: core.OpRead, addr: a, coreID: coreID, arriveAt: now})
+	c.stats.ReadsQueued++
+	return id, true
+}
+
+// EnqueueWrite queues a write; false when the queue is full. Writes
+// complete (from the CPU's view) at enqueue.
+func (c *Controller) EnqueueWrite(line int64, coreID int, now int64) bool {
+	a := c.decode(line)
+	if len(c.writeQ[a.Channel]) >= c.cfg.WriteQueueCap {
+		return false
+	}
+	c.writeQ[a.Channel] = append(c.writeQ[a.Channel], request{id: -1, kind: core.OpWrite, addr: a, coreID: coreID, arriveAt: now})
+	c.stats.WritesQueued++
+	return true
+}
+
+// Pending returns the number of queued reads and writes.
+func (c *Controller) Pending() (reads, writes int) {
+	for ch := range c.readQ {
+		reads += len(c.readQ[ch])
+		writes += len(c.writeQ[ch])
+	}
+	return
+}
+
+// DrainCompletions returns and clears the finished-read notifications.
+func (c *Controller) DrainCompletions() []Completion {
+	out := c.completions
+	c.completions = nil
+	return out
+}

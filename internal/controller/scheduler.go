@@ -1,0 +1,324 @@
+// The per-cycle scheduling pass: refresh management, write-drain mode and
+// FR-FCFS command selection. One command per channel per cycle.
+
+package controller
+
+import "repro/internal/core"
+
+// Tick runs one memory cycle: it updates refresh obligations and issues at
+// most one DRAM command per channel. Completed reads become Completions
+// (fetch them with DrainCompletions).
+func (c *Controller) Tick(now int64) {
+	for ch := 0; ch < c.geom.Channels; ch++ {
+		c.tickChannel(ch, now)
+	}
+}
+
+// tickChannel schedules one channel for one cycle.
+func (c *Controller) tickChannel(ch int, now int64) {
+	c.updateRefreshDebt(ch, now)
+	c.updateDrainMode(ch)
+
+	// 1. Mandatory refreshes preempt everything on their rank.
+	if c.serviceForcedRefresh(ch, now) {
+		return
+	}
+	// 2. Column accesses / activates / precharges for the current flow.
+	if c.scheduleRequests(ch, now) {
+		return
+	}
+	// 3. Opportunistic refresh when a rank has debt and nothing else ran.
+	if c.serviceOpportunisticRefresh(ch, now) {
+		return
+	}
+	// 4. Close-page housekeeping.
+	c.scheduleHousekeeping(ch, now)
+}
+
+// updateRefreshDebt accrues one refresh obligation per elapsed tREFI.
+func (c *Controller) updateRefreshDebt(ch int, now int64) {
+	for r := 0; r < c.geom.Ranks; r++ {
+		rr := &c.refresh[ch*c.geom.Ranks+r]
+		for now >= rr.nextDue {
+			rr.debt++
+			rr.nextDue += c.tREFI
+		}
+	}
+}
+
+// updateDrainMode flips the channel between read-priority and write-drain
+// using the Table 4 watermarks.
+func (c *Controller) updateDrainMode(ch int) {
+	switch {
+	case len(c.writeQ[ch]) >= c.cfg.HighWatermark:
+		c.drain[ch] = true
+	case c.drain[ch] && len(c.writeQ[ch]) <= c.cfg.LowWatermark:
+		c.drain[ch] = false
+	case !c.drain[ch] && len(c.readQ[ch]) == 0 && len(c.writeQ[ch]) > 0:
+		// Nothing better to do: drain writes while the read queue is empty.
+		c.drain[ch] = true
+	case c.drain[ch] && len(c.readQ[ch]) > 0 && len(c.writeQ[ch]) == 0:
+		c.drain[ch] = false
+	}
+}
+
+// issueRefresh pushes one rank toward a REF: precharges open banks, then
+// issues the refresh once legal. Returns true if a command slot was used.
+func (c *Controller) issueRefresh(ch, r int, now int64) bool {
+	rr := &c.refresh[ch*c.geom.Ranks+r]
+	// Precharge any open bank of the rank first.
+	for b := 0; b < c.geom.Banks; b++ {
+		a := core.Address{Channel: ch, Rank: r, Bank: b}
+		if c.dev.OpenRow(a) >= 0 {
+			if c.dev.CanPrecharge(a, now) {
+				c.dev.Precharge(a, now)
+				return true
+			}
+			return false // wait for tRAS etc.; slot not used
+		}
+	}
+	if !c.dev.CanRefresh(ch, r, now) {
+		return false
+	}
+	_, _ = c.dev.Refresh(ch, r, rr.counter, now)
+	rr.counter = (rr.counter + 1) % 8192
+	rr.debt--
+	return true
+}
+
+// serviceForcedRefresh issues refreshes whose debt reached the JEDEC
+// postponement limit. A skipped REF (Refresh-Skipping) retires debt without
+// consuming the command slot, so the loop keeps going after one.
+func (c *Controller) serviceForcedRefresh(ch int, now int64) bool {
+	for r := 0; r < c.geom.Ranks; r++ {
+		rr := &c.refresh[ch*c.geom.Ranks+r]
+		if rr.debt < c.cfg.MaxRefreshDebt {
+			continue
+		}
+		before := rr.debt
+		if c.issueRefresh(ch, r, now) {
+			c.stats.ForcedRefreshes++
+			return true
+		}
+		if rr.debt < before {
+			return true // a zero-cost skipped REF retired the debt
+		}
+	}
+	return false
+}
+
+// serviceOpportunisticRefresh retires refresh debt early when the rank has
+// no queued work, keeping forced (stall-inducing) refreshes rare.
+func (c *Controller) serviceOpportunisticRefresh(ch int, now int64) bool {
+	for r := 0; r < c.geom.Ranks; r++ {
+		rr := &c.refresh[ch*c.geom.Ranks+r]
+		if rr.debt <= 0 || c.rankHasWork(ch, r) {
+			continue
+		}
+		if c.issueRefresh(ch, r, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// rankHasWork reports whether any queued request targets the rank.
+func (c *Controller) rankHasWork(ch, r int) bool {
+	for i := range c.readQ[ch] {
+		if c.readQ[ch][i].addr.Rank == r {
+			return true
+		}
+	}
+	for i := range c.writeQ[ch] {
+		if c.writeQ[ch][i].addr.Rank == r {
+			return true
+		}
+	}
+	return false
+}
+
+// scheduleRequests runs the FR-FCFS (or FCFS) pass over the active queue
+// (writes in drain mode, reads otherwise, with a fallback to the other
+// queue when the active one is empty). Returns true if a command issued.
+func (c *Controller) scheduleRequests(ch int, now int64) bool {
+	primary, secondary := &c.readQ[ch], &c.writeQ[ch]
+	if c.drain[ch] {
+		primary, secondary = secondary, primary
+	}
+	if c.schedulePass(ch, *primary, now) {
+		return true
+	}
+	// The inactive queue may still use the slot for its own row hits when
+	// the active queue is completely blocked; USIMM does the same to avoid
+	// dead cycles. Only reads sneak in (writes wait for drain mode).
+	if !c.drain[ch] || len(*secondary) == 0 {
+		return false
+	}
+	return c.schedulePass(ch, *secondary, now)
+}
+
+// schedulePass tries, in priority order: a ready row-hit column access,
+// then (FR-FCFS) the oldest request's bank-preparation command. For FCFS
+// only the oldest request may issue anything.
+func (c *Controller) schedulePass(ch int, q []request, now int64) bool {
+	if len(q) == 0 {
+		return false
+	}
+	if c.cfg.Scheduler == FCFS {
+		return c.advanceRequest(ch, q[0], now)
+	}
+	// Anti-starvation: once the oldest request has waited past the limit,
+	// stop letting younger row hits bypass it.
+	if lim := c.cfg.StarvationLimit; lim > 0 && now-q[0].arriveAt > lim {
+		return c.advanceRequest(ch, q[0], now)
+	}
+	// First-ready: oldest request whose column access is legal this cycle.
+	for i := range q {
+		req := q[i]
+		if c.dev.IsRowHit(req.addr) && c.tryColumn(ch, req, now) {
+			return true
+		}
+	}
+	// Then FCFS: walk requests oldest-first and issue the first legal
+	// preparation command (PRE for a conflict, ACT for a closed bank),
+	// skipping banks already claimed by an earlier request this pass.
+	touched := make(map[int]bool, 8)
+	for i := range q {
+		req := q[i]
+		bid := req.addr.BankID(c.geom)
+		if touched[bid] {
+			continue
+		}
+		touched[bid] = true
+		if c.prepareBank(ch, req, now) {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceRequest moves a single request forward by whatever command it
+// needs next (FCFS path).
+func (c *Controller) advanceRequest(ch int, req request, now int64) bool {
+	if c.dev.IsRowHit(req.addr) {
+		return c.tryColumn(ch, req, now)
+	}
+	return c.prepareBank(ch, req, now)
+}
+
+// tryColumn issues the RD/WR of a row-hitting request if legal, retiring it
+// from its queue.
+func (c *Controller) tryColumn(ch int, req request, now int64) bool {
+	if req.kind == core.OpRead {
+		if !c.dev.CanRead(req.addr, now) {
+			return false
+		}
+		c.stats.RowHits++
+		done := c.dev.Read(req.addr, now)
+		c.removeRequest(&c.readQ[ch], req.id)
+		c.completions = append(c.completions, Completion{ID: req.id, CoreID: req.coreID, DoneAt: done, ArriveAt: req.arriveAt})
+		c.stats.ReadsDone++
+		c.stats.TotalReadLatency += done - req.arriveAt
+		if _, inMCR := c.dev.RowParams(req.addr.Row); inMCR {
+			c.stats.MCRReads++
+		}
+		c.postColumn(req.addr, now)
+		return true
+	}
+	if !c.dev.CanWrite(req.addr, now) {
+		return false
+	}
+	c.stats.RowHits++
+	c.dev.Write(req.addr, now)
+	c.removeWrite(&c.writeQ[ch], req)
+	c.stats.WritesDone++
+	c.postColumn(req.addr, now)
+	return true
+}
+
+// postColumn applies the close-page policy after a column access.
+func (c *Controller) postColumn(a core.Address, now int64) {
+	if c.cfg.RowPolicy != ClosePage {
+		return
+	}
+	if !c.rowWanted(a) && c.dev.CanPrecharge(a, now+1) {
+		// Model auto-precharge: close next cycle without using a slot.
+		c.dev.Precharge(a, now+1)
+	}
+}
+
+// prepareBank issues PRE (row conflict) or ACT (closed bank) for a request.
+func (c *Controller) prepareBank(ch int, req request, now int64) bool {
+	open := c.dev.OpenRow(req.addr)
+	switch {
+	case open < 0:
+		if c.dev.CanActivate(req.addr, now) {
+			c.dev.Activate(req.addr, now)
+			c.stats.RowMisses++
+			return true
+		}
+	case !c.dev.IsRowHit(req.addr):
+		if c.dev.CanPrecharge(req.addr, now) {
+			c.dev.Precharge(req.addr, now)
+			c.stats.RowConflicts++
+			return true
+		}
+	}
+	return false
+}
+
+// rowWanted reports whether any queued request targets the open row of a
+// bank.
+func (c *Controller) rowWanted(a core.Address) bool {
+	open := c.dev.OpenRow(a)
+	if open < 0 {
+		return false
+	}
+	for _, q := range [][]request{c.readQ[a.Channel], c.writeQ[a.Channel]} {
+		for i := range q {
+			r := q[i].addr
+			if r.Rank == a.Rank && r.Bank == a.Bank && c.dev.IsRowHit(r) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scheduleHousekeeping closes pages nobody wants under the close-page
+// policy (open-page leaves rows alone).
+func (c *Controller) scheduleHousekeeping(ch int, now int64) {
+	if c.cfg.RowPolicy != ClosePage {
+		return
+	}
+	for r := 0; r < c.geom.Ranks; r++ {
+		for b := 0; b < c.geom.Banks; b++ {
+			a := core.Address{Channel: ch, Rank: r, Bank: b}
+			if c.dev.OpenRow(a) >= 0 && !c.rowWanted(a) && c.dev.CanPrecharge(a, now) {
+				c.dev.Precharge(a, now)
+				return
+			}
+		}
+	}
+}
+
+// removeRequest deletes a read by id, preserving order.
+func (c *Controller) removeRequest(q *[]request, id int64) {
+	for i := range *q {
+		if (*q)[i].id == id {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+}
+
+// removeWrite deletes the first write matching the request's address and
+// arrival, preserving order.
+func (c *Controller) removeWrite(q *[]request, req request) {
+	for i := range *q {
+		if (*q)[i].addr == req.addr && (*q)[i].arriveAt == req.arriveAt {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,247 @@
+// Package cpu models the out-of-order cores of the paper's Table 4 system
+// in the USIMM style: a 3.2 GHz core with a 128-entry reorder buffer,
+// 4-wide fetch and 2-wide retire, driven by a trace. Non-memory
+// instructions flow through a fixed-depth pipeline; reads occupy their ROB
+// entry until the memory controller returns data and block retirement at
+// the ROB head; writes retire as soon as the write queue accepts them.
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// Config mirrors the processor row of paper Table 4.
+type Config struct {
+	ROBSize       int // 128
+	FetchWidth    int // 4 instructions per CPU cycle
+	RetireWidth   int // 2 instructions per CPU cycle
+	PipelineDepth int // 10 (constant fill latency)
+}
+
+// DefaultConfig returns the paper's core configuration.
+func DefaultConfig() Config {
+	return Config{ROBSize: 128, FetchWidth: 4, RetireWidth: 2, PipelineDepth: 10}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.ROBSize <= 0 || c.FetchWidth <= 0 || c.RetireWidth <= 0 || c.PipelineDepth < 0 {
+		return fmt.Errorf("cpu: config fields must be positive: %+v", c)
+	}
+	return nil
+}
+
+// MemorySystem is the controller interface the core dispatches through.
+type MemorySystem interface {
+	// EnqueueRead queues a read for the line; returns the completion id.
+	EnqueueRead(line int64, coreID int, now int64) (int64, bool)
+	// EnqueueWrite queues a write; false when the write queue is full.
+	EnqueueWrite(line int64, coreID int, now int64) bool
+}
+
+// robEntry is one ROB slot: either a run of non-memory instructions
+// (count > 0, readID < 0) or a single memory read in flight.
+type robEntry struct {
+	count  int   // non-memory instructions represented (1 for a read)
+	readID int64 // completion id for reads, -1 otherwise
+	done   bool
+}
+
+// Core is one trace-driven processor.
+type Core struct {
+	cfg Config
+	id  int
+	gen *trace.Generator
+	mem MemorySystem
+
+	rob       []robEntry // ring buffer
+	head, sz  int        // sz = occupied entries
+	occupancy int        // instructions currently in the ROB
+
+	pending    Record // the stalled record waiting for queue space
+	hasPending bool
+	tailGap    int // non-memory instructions still to fetch before pending
+
+	retired       int64
+	totalInsts    int64
+	readsInFlight map[int64]int // readID -> rob index
+
+	// Metrics.
+	ReadsIssued  int64
+	WritesIssued int64
+	FetchStalls  int64
+	doneAt       int64
+}
+
+// Record aliases the trace record for the pending slot.
+type Record = trace.Record
+
+// New builds a core over its trace generator and memory system.
+func New(cfg Config, id int, gen *trace.Generator, mem MemorySystem, totalInsts int64) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil || mem == nil {
+		return nil, fmt.Errorf("cpu: core %d needs a generator and a memory system", id)
+	}
+	return &Core{
+		cfg:           cfg,
+		id:            id,
+		gen:           gen,
+		mem:           mem,
+		rob:           make([]robEntry, cfg.ROBSize),
+		totalInsts:    totalInsts,
+		readsInFlight: make(map[int64]int),
+		doneAt:        -1,
+	}, nil
+}
+
+// Done reports whether the core has retired its whole trace.
+func (c *Core) Done() bool { return c.retired >= c.totalInsts }
+
+// DoneAt returns the CPU cycle the last instruction retired, or -1.
+func (c *Core) DoneAt() int64 { return c.doneAt }
+
+// Retired returns the retired instruction count.
+func (c *Core) Retired() int64 { return c.retired }
+
+// Complete marks an outstanding read finished (called when the controller
+// reports the completion id).
+func (c *Core) Complete(readID int64) {
+	if idx, ok := c.readsInFlight[readID]; ok {
+		c.rob[idx].done = true
+		delete(c.readsInFlight, readID)
+	}
+}
+
+// Cycle advances the core by one CPU cycle at time now (CPU cycles); memNow
+// is the matching memory-controller cycle used for enqueues.
+func (c *Core) Cycle(now, memNow int64) {
+	if c.Done() {
+		return
+	}
+	c.retire(now)
+	c.fetch(memNow)
+}
+
+// retire removes up to RetireWidth completed instructions from the ROB head.
+func (c *Core) retire(now int64) {
+	if now < int64(c.cfg.PipelineDepth) {
+		return // pipeline still filling
+	}
+	budget := c.cfg.RetireWidth
+	for budget > 0 && c.sz > 0 {
+		e := &c.rob[c.head]
+		if e.readID >= 0 && !e.done {
+			return // head read still waiting on DRAM
+		}
+		take := e.count
+		if take > budget {
+			take = budget
+		}
+		e.count -= take
+		budget -= take
+		c.retired += int64(take)
+		c.occupancy -= take
+		if e.count == 0 {
+			e.readID = -1
+			c.head = (c.head + 1) % len(c.rob)
+			c.sz--
+		}
+		if c.retired >= c.totalInsts && c.doneAt < 0 {
+			c.doneAt = now
+			return
+		}
+	}
+}
+
+// fetch inserts up to FetchWidth instructions, dispatching memory ops to
+// the controller. A full ROB or a full memory queue stalls fetch.
+func (c *Core) fetch(memNow int64) {
+	budget := c.cfg.FetchWidth
+	for budget > 0 {
+		if c.occupancy >= c.cfg.ROBSize {
+			return // ROB full
+		}
+		if !c.hasPending {
+			rec, ok := c.gen.Next()
+			if !ok {
+				return // trace exhausted; drain remains
+			}
+			c.pending, c.hasPending = rec, true
+			c.tailGap = rec.Gap
+		}
+		// Fetch the non-memory run preceding the memory op.
+		if c.tailGap > 0 {
+			n := min(budget, c.tailGap, c.cfg.ROBSize-c.occupancy)
+			c.pushNonMem(n)
+			c.tailGap -= n
+			budget -= n
+			continue
+		}
+		if c.pending.Line < 0 {
+			// Pure-gap sentinel record fully fetched.
+			c.hasPending = false
+			continue
+		}
+		// Dispatch the memory operation itself (one instruction).
+		if c.pending.Kind == core.OpRead {
+			id, ok := c.mem.EnqueueRead(c.pending.Line, c.id, memNow)
+			if !ok {
+				c.FetchStalls++
+				return // read queue full
+			}
+			idx := c.pushEntry(robEntry{count: 1, readID: id})
+			c.readsInFlight[id] = idx
+			c.ReadsIssued++
+		} else {
+			if !c.mem.EnqueueWrite(c.pending.Line, c.id, memNow) {
+				c.FetchStalls++
+				return // write queue full
+			}
+			c.pushEntry(robEntry{count: 1, readID: -1, done: true})
+			c.WritesIssued++
+		}
+		c.hasPending = false
+		budget--
+	}
+}
+
+// pushNonMem merges a run of non-memory instructions into the ROB tail.
+func (c *Core) pushNonMem(n int) {
+	if n <= 0 {
+		return
+	}
+	if c.sz > 0 {
+		tail := (c.head + c.sz - 1) % len(c.rob)
+		e := &c.rob[tail]
+		if e.readID < 0 {
+			e.count += n
+			c.occupancy += n
+			return
+		}
+	}
+	c.pushEntry(robEntry{count: n, readID: -1, done: true})
+}
+
+// pushEntry appends a ROB entry, returning its ring index.
+func (c *Core) pushEntry(e robEntry) int {
+	idx := (c.head + c.sz) % len(c.rob)
+	c.rob[idx] = e
+	c.sz++
+	c.occupancy += e.count
+	return idx
+}
+
+func min(vs ...int) int {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}

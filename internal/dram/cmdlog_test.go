@@ -1,0 +1,96 @@
+package dram
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mcr"
+)
+
+func TestCommandLogCapturesAndEvicts(t *testing.T) {
+	d := newDevice(t, mcr.Off(), Mechanisms{})
+	log := NewCommandLog(4, nil)
+	d.SetHook(log)
+
+	tim := d.Timings().Normal
+	now := int64(0)
+	for b := 0; b < 3; b++ {
+		a := core.Address{Bank: b, Row: b + 1}
+		d.Activate(a, now)
+		pre := now + int64(tim.TRAS)
+		d.Precharge(a, pre)
+		now = pre + int64(tim.TRP)
+	}
+	// 6 events into a 4-slot ring: the first two evicted.
+	if log.Total() != 6 {
+		t.Fatalf("total = %d, want 6", log.Total())
+	}
+	recent := log.Recent()
+	if len(recent) != 4 {
+		t.Fatalf("window = %d entries, want 4", len(recent))
+	}
+	// Oldest-first ordering.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].At < recent[i-1].At {
+			t.Fatal("log not ordered oldest first")
+		}
+	}
+	if recent[len(recent)-1].Kind != core.CmdPrecharge {
+		t.Fatal("last event must be the final PRE")
+	}
+	if !strings.Contains(log.String(), "PRE") || !strings.Contains(log.String(), "ACT") {
+		t.Fatalf("rendering incomplete:\n%s", log)
+	}
+}
+
+func TestCommandLogRecordsRefreshClass(t *testing.T) {
+	d := newDevice(t, mcr.MustMode(4, 4, 1), AllMechanisms())
+	log := NewCommandLog(8, nil)
+	d.SetHook(log)
+	d.Refresh(0, 0, 0, 0)
+	recent := log.Recent()
+	if len(recent) != 1 || recent[0].Kind != core.CmdRefresh {
+		t.Fatalf("expected one REF, got %v", recent)
+	}
+	if recent[0].MEff != 4 {
+		t.Fatalf("4/4x Fast-Refresh class = %d, want 4", recent[0].MEff)
+	}
+	if !strings.Contains(recent[0].String(), "REF") {
+		t.Fatal("REF rendering wrong")
+	}
+}
+
+// TestCommandLogChains: the log forwards to an inner hook.
+func TestCommandLogChains(t *testing.T) {
+	var acts, pres, refs int
+	inner := hookFuncs{
+		act: func(core.Address, int64) { acts++ },
+		pre: func(core.Address, int, int, int64) { pres++ },
+		ref: func(int, int, []int, int, int64) { refs++ },
+	}
+	d := newDevice(t, mcr.Off(), Mechanisms{})
+	d.SetHook(NewCommandLog(2, inner))
+	a := core.Address{Row: 9}
+	d.Activate(a, 0)
+	d.Precharge(a, int64(d.Timings().Normal.TRAS))
+	d.Refresh(0, 1, 0, 0)
+	if acts != 1 || pres != 1 || refs != 1 {
+		t.Fatalf("chained hook missed events: %d %d %d", acts, pres, refs)
+	}
+}
+
+// hookFuncs adapts closures to the Hook interface for tests.
+type hookFuncs struct {
+	act func(core.Address, int64)
+	pre func(core.Address, int, int, int64)
+	ref func(int, int, []int, int, int64)
+}
+
+func (h hookFuncs) Activated(a core.Address, now int64) { h.act(a, now) }
+func (h hookFuncs) Precharged(a core.Address, row int, m int, now int64) {
+	h.pre(a, row, m, now)
+}
+func (h hookFuncs) Refreshed(ch, rank int, rows []int, m int, now int64) {
+	h.ref(ch, rank, rows, m, now)
+}

@@ -1,0 +1,307 @@
+// Command legality checks and issue bookkeeping. The controller calls
+// CanActivate/CanRead/... to probe and then the matching Issue method; the
+// device enforces every timing constraint and panics on an illegal issue
+// (a controller bug, not a runtime condition).
+
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/mcr"
+)
+
+// fawGate returns the earliest cycle a new ACT may issue to the rank under
+// the rolling four-activate window.
+func (r *rank) fawGate(tFAW int) int64 {
+	oldest := r.actWindow[r.actWindowAt] // window holds the last 4 ACT times
+	return oldest + int64(tFAW)
+}
+
+func (r *rank) recordAct(t int64) {
+	r.actWindow[r.actWindowAt] = t
+	r.actWindowAt = (r.actWindowAt + 1) % len(r.actWindow)
+}
+
+// EarliestActivate returns the first cycle >= now at which an ACT to addr
+// would be legal, and whether the bank is in a state that allows it at all
+// (closed).
+func (d *Device) EarliestActivate(a core.Address, now int64) (int64, bool) {
+	b, rk := d.bankAt(a), d.rankAt(a)
+	if b.openRow >= 0 {
+		return 0, false
+	}
+	t := max64(now, b.nextAct, rk.nextAct, rk.fawGate(d.tim.Normal.TFAW), rk.refreshBusyUntil)
+	return t, true
+}
+
+// CanActivate reports whether ACT to addr is legal at cycle now.
+func (d *Device) CanActivate(a core.Address, now int64) bool {
+	t, ok := d.EarliestActivate(a, now)
+	return ok && t <= now
+}
+
+// Activate opens the row (or its whole MCR) of addr at cycle now.
+func (d *Device) Activate(a core.Address, now int64) {
+	if !d.CanActivate(a, now) {
+		panic(fmt.Sprintf("dram: illegal ACT %v at cycle %d", a, now))
+	}
+	b, rk := d.bankAt(a), d.rankAt(a)
+	p, inMCR := d.RowParams(a.Row)
+	b.openRow = a.Row
+	b.openMCR = inMCR
+	b.nextRead = max64(b.nextRead, now+int64(p.TRCD))
+	b.nextWrite = max64(b.nextWrite, now+int64(p.TRCD))
+	b.nextPre = max64(b.nextPre, now+int64(p.TRAS))
+	b.nextAct = max64(b.nextAct, now+int64(p.TRC))
+	rk.nextAct = max64(rk.nextAct, now+int64(d.tim.Normal.TRRD))
+	rk.recordAct(now)
+	d.stats.Activates++
+	d.perBankActs[a.BankID(d.cfg.Geom)]++
+	if inMCR {
+		d.stats.MCRActivates++
+	}
+	if d.hook != nil {
+		d.hook.Activated(a, now)
+	}
+}
+
+// EarliestRead returns the first cycle >= now a READ to addr could issue,
+// and false when the bank does not have the right row open.
+func (d *Device) EarliestRead(a core.Address, now int64) (int64, bool) {
+	if !d.IsRowHit(a) {
+		return 0, false
+	}
+	b, rk := d.bankAt(a), d.rankAt(a)
+	t := max64(now, b.nextRead, rk.nextReadOK, d.nextCol[a.Channel], rk.refreshBusyUntil)
+	// Data bus: burst occupies [t+CL, t+CL+BL); wait until free, plus the
+	// rank-to-rank switch penalty when ownership changes.
+	for {
+		start := t + int64(d.tim.Normal.TCAS)
+		busFree := d.busBusyUntil[a.Channel]
+		if d.busOwner[a.Channel] != a.Rank && d.busOwner[a.Channel] >= 0 {
+			busFree += int64(d.tim.Normal.TRTRS)
+		}
+		if start >= busFree {
+			return t, true
+		}
+		t += busFree - start
+	}
+}
+
+// CanRead reports whether READ to addr is legal at cycle now.
+func (d *Device) CanRead(a core.Address, now int64) bool {
+	t, ok := d.EarliestRead(a, now)
+	return ok && t <= now
+}
+
+// Read issues a column read at cycle now and returns the cycle the data
+// burst completes on the bus (the request's service time).
+func (d *Device) Read(a core.Address, now int64) int64 {
+	if !d.CanRead(a, now) {
+		panic(fmt.Sprintf("dram: illegal RD %v at cycle %d", a, now))
+	}
+	b := d.bankAt(a)
+	start := now + int64(d.tim.Normal.TCAS)
+	end := start + int64(d.tim.Normal.TBURST)
+	d.busBusyUntil[a.Channel] = end
+	d.busOwner[a.Channel] = a.Rank
+	d.nextCol[a.Channel] = now + int64(d.tim.Normal.TCCD)
+	b.nextPre = max64(b.nextPre, now+int64(d.tim.Normal.TRTP))
+	d.stats.Reads++
+	return end
+}
+
+// EarliestWrite returns the first cycle >= now a WRITE to addr could issue.
+func (d *Device) EarliestWrite(a core.Address, now int64) (int64, bool) {
+	if !d.IsRowHit(a) {
+		return 0, false
+	}
+	b, rk := d.bankAt(a), d.rankAt(a)
+	t := max64(now, b.nextWrite, d.nextCol[a.Channel], rk.refreshBusyUntil)
+	for {
+		start := t + int64(d.tim.Normal.TCWD)
+		busFree := d.busBusyUntil[a.Channel]
+		if d.busOwner[a.Channel] != a.Rank && d.busOwner[a.Channel] >= 0 {
+			busFree += int64(d.tim.Normal.TRTRS)
+		}
+		if start >= busFree {
+			return t, true
+		}
+		t += busFree - start
+	}
+}
+
+// CanWrite reports whether WRITE to addr is legal at cycle now.
+func (d *Device) CanWrite(a core.Address, now int64) bool {
+	t, ok := d.EarliestWrite(a, now)
+	return ok && t <= now
+}
+
+// Write issues a column write at cycle now and returns the cycle the data
+// burst completes.
+func (d *Device) Write(a core.Address, now int64) int64 {
+	if !d.CanWrite(a, now) {
+		panic(fmt.Sprintf("dram: illegal WR %v at cycle %d", a, now))
+	}
+	b, rk := d.bankAt(a), d.rankAt(a)
+	start := now + int64(d.tim.Normal.TCWD)
+	end := start + int64(d.tim.Normal.TBURST)
+	d.busBusyUntil[a.Channel] = end
+	d.busOwner[a.Channel] = a.Rank
+	d.nextCol[a.Channel] = now + int64(d.tim.Normal.TCCD)
+	// Write recovery gates the precharge; write-to-read turnaround gates
+	// subsequent reads in the whole rank.
+	b.nextPre = max64(b.nextPre, end+int64(d.tim.Normal.TWR))
+	rk.nextReadOK = max64(rk.nextReadOK, end+int64(d.tim.Normal.TWTR))
+	d.stats.Writes++
+	return end
+}
+
+// EarliestPrecharge returns the first cycle >= now a PRE could issue to the
+// bank of addr; false when the bank is already closed.
+func (d *Device) EarliestPrecharge(a core.Address, now int64) (int64, bool) {
+	b := d.bankAt(a)
+	if b.openRow < 0 {
+		return 0, false
+	}
+	rk := d.rankAt(a)
+	return max64(now, b.nextPre, rk.refreshBusyUntil), true
+}
+
+// CanPrecharge reports whether PRE is legal at cycle now.
+func (d *Device) CanPrecharge(a core.Address, now int64) bool {
+	t, ok := d.EarliestPrecharge(a, now)
+	return ok && t <= now
+}
+
+// Precharge closes the open row of the bank of addr at cycle now.
+func (d *Device) Precharge(a core.Address, now int64) {
+	if !d.CanPrecharge(a, now) {
+		panic(fmt.Sprintf("dram: illegal PRE %v at cycle %d", a, now))
+	}
+	b := d.bankAt(a)
+	closed := b.openRow
+	b.openRow = -1
+	b.openMCR = false
+	b.nextAct = max64(b.nextAct, now+int64(d.tim.Normal.TRP))
+	d.stats.Precharges++
+	if d.hook != nil {
+		d.hook.Precharged(a, closed, d.MEff(closed), now)
+	}
+}
+
+// EarliestRefresh returns the first cycle >= now a REF could issue to the
+// rank (all banks must be precharged); false when some bank is open.
+func (d *Device) EarliestRefresh(ch, rankID int, now int64) (int64, bool) {
+	g := d.cfg.Geom
+	t := now
+	for bk := 0; bk < g.Banks; bk++ {
+		b := &d.banks[(ch*g.Ranks+rankID)*g.Banks+bk]
+		if b.openRow >= 0 {
+			return 0, false
+		}
+		t = max64(t, b.nextAct)
+	}
+	return t, true
+}
+
+// CanRefresh reports whether REF to the rank is legal at cycle now.
+func (d *Device) CanRefresh(ch, rankID int, now int64) bool {
+	t, ok := d.EarliestRefresh(ch, rankID, now)
+	return ok && t <= now
+}
+
+// Refresh issues REF command number counter to the rank at cycle now. It
+// returns the refresh plan (rows touched, skipped flag) and the cycle the
+// rank becomes usable again. A skipped REF costs nothing and touches no
+// state beyond the statistics.
+func (d *Device) Refresh(ch, rankID int, counter int, now int64) (mcr.LayoutRefreshOp, int64) {
+	op := d.sched.Plan(counter)
+	if d.nuat != nil {
+		// Track refresh progress for the charge-aware timing classes (the
+		// ranks advance in lockstep; the last counter seen is a faithful
+		// approximation of the window position).
+		d.nuat.counter = counter
+	}
+	if op.Skipped && d.cfg.Mech.RefreshSkipping {
+		d.stats.SkippedRefreshes++
+		return op, now
+	}
+	op.Skipped = false // skipping disabled: the REF really happens
+	if !d.CanRefresh(ch, rankID, now) {
+		panic(fmt.Sprintf("dram: illegal REF ch%d rank%d at cycle %d", ch, rankID, now))
+	}
+	tRFC := int64(d.tim.Normal.TRFC)
+	if op.InMCR {
+		if cyc, ok := d.tim.RefreshPerK[op.K]; ok {
+			tRFC = int64(cyc)
+		} else {
+			tRFC = int64(d.tim.RefreshMCRCycles)
+		}
+		d.stats.MCRRefreshes++
+	}
+	done := now + tRFC
+	rk := &d.ranks[ch*d.cfg.Geom.Ranks+rankID]
+	rk.refreshBusyUntil = done
+	g := d.cfg.Geom
+	for bk := 0; bk < g.Banks; bk++ {
+		b := &d.banks[(ch*g.Ranks+rankID)*g.Banks+bk]
+		b.nextAct = max64(b.nextAct, done)
+	}
+	d.stats.Refreshes++
+	if d.hook != nil {
+		d.hook.Refreshed(ch, rankID, op.Rows, d.refreshMEff(op.K, op.M), done)
+	}
+	return op, done
+}
+
+// SetMode reprograms the MCR-mode through the mode register (an MRS
+// command) and rebuilds the timing classes. All banks must be precharged.
+// Combined layouts are fixed at construction; SetMode clears any layout in
+// favor of the simple mode.
+func (d *Device) SetMode(mode mcr.Mode, now int64) error {
+	for i := range d.banks {
+		if d.banks[i].openRow >= 0 {
+			return fmt.Errorf("dram: MRS requires all banks precharged")
+		}
+	}
+	if err := d.modeReg.Set(mode); err != nil {
+		return err
+	}
+	cfg := d.cfg
+	cfg.Mode = mode
+	cfg.Layout = mcr.Layout{}
+	tim, err := ResolveTimings(cfg)
+	if err != nil {
+		return err
+	}
+	gen, err := mcr.NewGenerator(mode, cfg.Geom.RowsPerSubarray())
+	if err != nil {
+		return err
+	}
+	lgen, err := mcr.NewLayoutGenerator(mcr.LayoutOf(mode), cfg.Geom.RowsPerSubarray())
+	if err != nil {
+		return err
+	}
+	sched, err := mcr.NewLayoutScheduler(lgen, cfg.Wiring, cfg.Geom.Rows)
+	if err != nil {
+		return err
+	}
+	d.cfg, d.tim, d.gen, d.lgen, d.sched = cfg, tim, gen, lgen, sched
+	return nil
+}
+
+// ModeGeneration exposes the mode-register generation counter.
+func (d *Device) ModeGeneration() int { return d.modeReg.Generation() }
+
+func max64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,223 @@
+// The device model proper: banks, ranks and the shared data bus, with the
+// MCR layout generator and refresh scheduler wired in.
+
+package dram
+
+import (
+	"repro/internal/core"
+	"repro/internal/mcr"
+	"repro/internal/timing"
+)
+
+// bank holds the per-bank scheduling state: the open row and the earliest
+// cycle each command class may next issue.
+type bank struct {
+	openRow   int // -1 when precharged
+	openMCR   bool
+	nextAct   int64
+	nextRead  int64
+	nextWrite int64
+	nextPre   int64
+}
+
+// rank holds rank-level constraint state.
+type rank struct {
+	actWindow        [4]int64 // times of the last four ACTs, for tFAW
+	actWindowAt      int
+	nextAct          int64 // tRRD gate
+	nextReadOK       int64 // write-to-read turnaround (tWTR)
+	refreshBusyUntil int64
+}
+
+// Stats counts device-level events.
+type Stats struct {
+	Activates        int64
+	Reads            int64
+	Writes           int64
+	Precharges       int64
+	Refreshes        int64
+	SkippedRefreshes int64
+	MCRActivates     int64
+	MCRRefreshes     int64
+}
+
+// Device is one MCR-DRAM memory system (all channels).
+type Device struct {
+	cfg     Config
+	tim     Timings
+	lgen    *mcr.LayoutGenerator
+	gen     *mcr.Generator // non-nil only for single-band (simple Mode) devices
+	sched   *mcr.LayoutScheduler
+	modeReg *mcr.ModeRegister
+
+	banks []bank // [channel][rank][bank] flattened
+	ranks []rank // [channel][rank] flattened
+
+	// Channel-level constraint state.
+	busBusyUntil []int64 // data bus per channel
+	busOwner     []int   // rank that last used the bus, for tRTRS
+	nextCol      []int64 // tCCD gate per channel
+
+	tl    *tlState   // non-nil for the TL-DRAM-like comparison baseline
+	nuat  *nuatState // non-nil for the NUAT-like comparison baseline
+	stats Stats
+	hook  Hook
+
+	// perBankActs counts activates per flattened bank id, for balance
+	// diagnostics.
+	perBankActs []int64
+}
+
+// New builds a device from the configuration.
+func New(cfg Config) (*Device, error) {
+	tim, err := ResolveTimings(cfg)
+	if err != nil {
+		return nil, err
+	}
+	lgen, err := mcr.NewLayoutGenerator(cfg.EffectiveLayout(), cfg.Geom.RowsPerSubarray())
+	if err != nil {
+		return nil, err
+	}
+	sched, err := mcr.NewLayoutScheduler(lgen, cfg.Wiring, cfg.Geom.Rows)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:          cfg,
+		tim:          tim,
+		lgen:         lgen,
+		sched:        sched,
+		modeReg:      mcr.NewModeRegister(),
+		banks:        make([]bank, cfg.Geom.Channels*cfg.Geom.Ranks*cfg.Geom.Banks),
+		ranks:        make([]rank, cfg.Geom.Channels*cfg.Geom.Ranks),
+		busBusyUntil: make([]int64, cfg.Geom.Channels),
+		busOwner:     make([]int, cfg.Geom.Channels),
+		nextCol:      make([]int64, cfg.Geom.Channels),
+		perBankActs:  make([]int64, cfg.Geom.Channels*cfg.Geom.Ranks*cfg.Geom.Banks),
+	}
+	if !cfg.Layout.Enabled() {
+		d.gen, err = mcr.NewGenerator(cfg.Mode, cfg.Geom.RowsPerSubarray())
+		if err != nil {
+			return nil, err
+		}
+		if err := d.modeReg.Set(cfg.Mode); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.TL != nil {
+		d.tl, err = newTLState(cfg.FourGb, *cfg.TL, cfg.Geom.RowsPerSubarray())
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cfg.NUAT != nil {
+		d.nuat, err = newNUATState(cfg.FourGb, *cfg.NUAT, cfg.Wiring, cfg.Geom.Rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := range d.banks {
+		d.banks[i].openRow = -1
+	}
+	for i := range d.ranks {
+		for j := range d.ranks[i].actWindow {
+			d.ranks[i].actWindow[j] = -1 << 40 // far past: empty tFAW window
+		}
+	}
+	for i := range d.busOwner {
+		d.busOwner[i] = -1
+	}
+	return d, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Timings returns the resolved per-class timing parameters.
+func (d *Device) Timings() Timings { return d.tim }
+
+// Generator exposes the simple-mode MCR generator; nil for combined
+// layouts (use LayoutGenerator there).
+func (d *Device) Generator() *mcr.Generator { return d.gen }
+
+// LayoutGenerator exposes the universal row classifier.
+func (d *Device) LayoutGenerator() *mcr.LayoutGenerator { return d.lgen }
+
+// RefreshScheduler exposes the refresh planner.
+func (d *Device) RefreshScheduler() *mcr.LayoutScheduler { return d.sched }
+
+// Stats returns a copy of the event counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+func (d *Device) bankAt(a core.Address) *bank {
+	return &d.banks[a.BankID(d.cfg.Geom)]
+}
+
+func (d *Device) rankAt(a core.Address) *rank {
+	return &d.ranks[a.Channel*d.cfg.Geom.Ranks+a.Rank]
+}
+
+// RowParams returns the timing parameter set governing a row and whether
+// the row lies in an MCR band (always false for the TL-DRAM-like scheme,
+// whose near/far classes are not clone rows).
+func (d *Device) RowParams(row int) (*timing.Params, bool) {
+	if d.tl != nil {
+		return d.tl.params(row), false
+	}
+	if d.nuat != nil {
+		return d.nuat.params(row), false
+	}
+	k := d.lgen.KAt(row)
+	if k > 1 {
+		if p, ok := d.tim.PerK[k]; ok {
+			return &p, true
+		}
+	}
+	return &d.tim.Normal, false
+}
+
+// IsNearSegment reports whether a row sits in the TL-DRAM-like near
+// segment (false for MCR devices).
+func (d *Device) IsNearSegment(row int) bool { return d.tl != nil && d.tl.isNear(row) }
+
+// OpenRow returns the open row of the bank holding addr, or -1.
+func (d *Device) OpenRow(a core.Address) int { return d.bankAt(a).openRow }
+
+// IsRowHit reports whether a request would hit the open row — treating all
+// clone rows of an MCR as the same logical row, since activating any of
+// them latched the same data.
+func (d *Device) IsRowHit(a core.Address) bool {
+	b := d.bankAt(a)
+	if b.openRow < 0 {
+		return false
+	}
+	if b.openRow == a.Row {
+		return true
+	}
+	return d.lgen.SameMCR(b.openRow, a.Row)
+}
+
+// InMCR reports whether the row lies in an MCR band.
+func (d *Device) InMCR(row int) bool { return d.lgen.InMCR(row) }
+
+// BankActivates returns a copy of the per-bank activate counters (indexed
+// by the flattened BankID), for balance diagnostics.
+func (d *Device) BankActivates() []int64 {
+	return append([]int64(nil), d.perBankActs...)
+}
+
+// RankBusy reports whether a rank is doing work at the given cycle: any
+// bank open, or a refresh in flight. The power model uses it to classify
+// background cycles.
+func (d *Device) RankBusy(ch, rankID int, now int64) bool {
+	if d.ranks[ch*d.cfg.Geom.Ranks+rankID].refreshBusyUntil > now {
+		return true
+	}
+	base := (ch*d.cfg.Geom.Ranks + rankID) * d.cfg.Geom.Banks
+	for b := 0; b < d.cfg.Geom.Banks; b++ {
+		if d.banks[base+b].openRow >= 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,117 @@
+package dram
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mcr"
+)
+
+// TestRandomCommandSequences drives the device with random *legal* command
+// sequences and checks internal consistency: Can* and Earliest* agree, no
+// panics on legal commands, stats add up, and the open-row bookkeeping
+// stays coherent.
+func TestRandomCommandSequences(t *testing.T) {
+	modes := []mcr.Mode{mcr.Off(), mcr.MustMode(2, 2, 0.5), mcr.MustMode(4, 2, 1)}
+	for _, mode := range modes {
+		t.Run(mode.String(), func(t *testing.T) {
+			d := newDevice(t, mode, AllMechanisms())
+			rng := rand.New(rand.NewSource(11))
+			g := d.Config().Geom
+			now := int64(0)
+			var acts, reads, writes, pres, refs int64
+			for step := 0; step < 20_000; step++ {
+				now += int64(rng.Intn(3))
+				a := core.Address{
+					Rank:   rng.Intn(g.Ranks),
+					Bank:   rng.Intn(g.Banks),
+					Row:    rng.Intn(g.Rows),
+					Column: rng.Intn(g.Columns),
+				}
+				switch rng.Intn(5) {
+				case 0: // activate
+					if when, ok := d.EarliestActivate(a, now); ok {
+						if d.CanActivate(a, now) != (when <= now) {
+							t.Fatal("CanActivate disagrees with EarliestActivate")
+						}
+						if when <= now+40 {
+							d.Activate(a, when)
+							now = when
+							acts++
+						}
+					}
+				case 1: // read an open row
+					a.Row = d.OpenRow(a)
+					if a.Row < 0 {
+						continue
+					}
+					if when, ok := d.EarliestRead(a, now); ok && when <= now+40 {
+						if end := d.Read(a, when); end <= when {
+							t.Fatal("read must complete after issue")
+						}
+						now = when
+						reads++
+					}
+				case 2: // write an open row
+					a.Row = d.OpenRow(a)
+					if a.Row < 0 {
+						continue
+					}
+					if when, ok := d.EarliestWrite(a, now); ok && when <= now+40 {
+						d.Write(a, when)
+						now = when
+						writes++
+					}
+				case 3: // precharge
+					if when, ok := d.EarliestPrecharge(a, now); ok && when <= now+60 {
+						d.Precharge(a, when)
+						now = when
+						pres++
+					}
+				case 4: // refresh an idle rank
+					if when, ok := d.EarliestRefresh(a.Channel, a.Rank, now); ok && when <= now+60 {
+						_, done := d.Refresh(a.Channel, a.Rank, int(refs), when)
+						if done > when {
+							now = done
+						}
+						refs++
+					}
+				}
+			}
+			st := d.Stats()
+			if st.Activates != acts || st.Reads != reads || st.Writes != writes || st.Precharges != pres {
+				t.Fatalf("stats drifted: %+v vs local (%d,%d,%d,%d)", st, acts, reads, writes, pres)
+			}
+			if acts == 0 || reads == 0 || pres == 0 {
+				t.Fatal("fuzz never exercised the main commands")
+			}
+			if st.MCRActivates > st.Activates {
+				t.Fatal("MCR activates cannot exceed activates")
+			}
+		})
+	}
+}
+
+// TestEarliestNeverRegresses: for a closed bank, EarliestActivate is
+// monotone in `now` (a core scheduling assumption of the controller).
+func TestEarliestNeverRegresses(t *testing.T) {
+	d := newDevice(t, mcr.MustMode(4, 4, 1), AllMechanisms())
+	a := core.Address{Row: 77}
+	d.Activate(a, 0)
+	d.Precharge(a, int64(d.Timings().MCR.TRAS))
+	prev := int64(0)
+	for now := int64(0); now < 200; now += 7 {
+		when, ok := d.EarliestActivate(a, now)
+		if !ok {
+			t.Fatal("bank is closed; ACT must be possible")
+		}
+		if when < prev {
+			t.Fatalf("earliest ACT regressed: %d after %d", when, prev)
+		}
+		if when < now {
+			t.Fatalf("earliest ACT %d in the past of %d", when, now)
+		}
+		prev = when
+	}
+}

@@ -1,0 +1,49 @@
+// Optional command-stream observer: retention checkers and tracing tools
+// attach here without touching the scheduling fast path.
+
+package dram
+
+import "repro/internal/core"
+
+// Hook observes device events. All methods are called synchronously from
+// the issuing command; implementations must not call back into the device.
+type Hook interface {
+	// Activated fires when an ACT opens a row (before any restore).
+	Activated(a core.Address, now int64)
+	// Precharged fires when a PRE closes a row; mEff is the effective
+	// refreshes-per-window class the restore level was chosen for
+	// (1 = full restore).
+	Precharged(a core.Address, row int, mEff int, now int64)
+	// Refreshed fires when a REF completes; rows are the batch's base
+	// rows and mEff the restore class of this refresh.
+	Refreshed(ch, rank int, rows []int, mEff int, now int64)
+}
+
+// SetHook attaches an observer (nil detaches).
+func (d *Device) SetHook(h Hook) { d.hook = h }
+
+// MEff returns the effective refreshes-per-window class governing a row's
+// restore level under the current mechanisms: 1 (full restore) unless
+// Early-Precharge is on, in which case the band's K — reduced to the
+// band's M when Refresh-Skipping is honored.
+func (d *Device) MEff(row int) int {
+	if !d.cfg.Mech.EarlyPrecharge {
+		return 1
+	}
+	if d.cfg.Mech.RefreshSkipping {
+		return d.lgen.MAt(row)
+	}
+	return d.lgen.KAt(row)
+}
+
+// refreshMEff returns the restore class of a REF on rows of gang size k
+// with band skip setting m.
+func (d *Device) refreshMEff(k, m int) int {
+	if k == 1 || !d.cfg.Mech.FastRefresh || !d.cfg.Mech.EarlyPrecharge {
+		return 1
+	}
+	if d.cfg.Mech.RefreshSkipping {
+		return m
+	}
+	return k
+}

@@ -1,0 +1,82 @@
+package dram
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mcr"
+)
+
+// TestMEffClasses pins the restore-class selection the integrity checker
+// and power model depend on.
+func TestMEffClasses(t *testing.T) {
+	cases := []struct {
+		name string
+		mode mcr.Mode
+		mech Mechanisms
+		row  int
+		want int
+	}{
+		{"baseline", mcr.Off(), Mechanisms{}, 0, 1},
+		{"mcr no EP", mcr.MustMode(4, 4, 1), Mechanisms{EarlyAccess: true}, 0, 1},
+		{"4/4x full", mcr.MustMode(4, 4, 1), AllMechanisms(), 0, 4},
+		{"2/4x with RS", mcr.MustMode(4, 2, 1), AllMechanisms(), 0, 2},
+		{"2/4x RS off", mcr.MustMode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true}, 0, 4},
+		{"normal row in 50%reg", mcr.MustMode(4, 4, 0.5), AllMechanisms(), 10, 1},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := newDevice(t, c.mode, c.mech)
+			if got := d.MEff(c.row); got != c.want {
+				t.Fatalf("MEff(%d) = %d, want %d", c.row, got, c.want)
+			}
+		})
+	}
+}
+
+// TestRefreshMEffClasses: the refresh restore class follows Fast-Refresh
+// and skipping independently of the activation class.
+func TestRefreshMEffClasses(t *testing.T) {
+	d := newDevice(t, mcr.MustMode(4, 2, 1), AllMechanisms())
+	if got := d.refreshMEff(4, 2); got != 2 {
+		t.Fatalf("refreshMEff(4,2) = %d, want 2", got)
+	}
+	if got := d.refreshMEff(1, 1); got != 1 {
+		t.Fatalf("normal refresh class = %d, want 1", got)
+	}
+	noFR := newDevice(t, mcr.MustMode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, RefreshSkipping: true})
+	if got := noFR.refreshMEff(4, 2); got != 1 {
+		t.Fatalf("without Fast-Refresh the REF restores fully, got class %d", got)
+	}
+	noRS := newDevice(t, mcr.MustMode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true})
+	if got := noRS.refreshMEff(4, 2); got != 4 {
+		t.Fatalf("without skipping a 2/4x band refreshes 4 times, got class %d", got)
+	}
+}
+
+// TestBankActivatesCounter: the per-bank counters add up to the total.
+func TestBankActivatesCounter(t *testing.T) {
+	d := newDevice(t, mcr.Off(), Mechanisms{})
+	tim := d.Timings().Normal
+	now := int64(0)
+	for b := 0; b < 4; b++ {
+		d.Activate(core.Address{Bank: b, Row: 1}, now)
+		now += int64(tim.TRRD)
+	}
+	counts := d.BankActivates()
+	var sum int64
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != d.Stats().Activates {
+		t.Fatalf("per-bank sum %d != total %d", sum, d.Stats().Activates)
+	}
+	if counts[0] != 1 || counts[3] != 1 {
+		t.Fatalf("per-bank distribution wrong: %v", counts[:4])
+	}
+	// The returned slice is a copy.
+	counts[0] = 999
+	if d.BankActivates()[0] == 999 {
+		t.Fatal("BankActivates must return a copy")
+	}
+}

@@ -1,0 +1,123 @@
+// NUAT-like charge-aware timing (Shin et al., HPCA 2014 — the paper's
+// citation [27]), implemented as a second related-work comparator: a
+// conventional DRAM whose controller knows how long ago each row was
+// refreshed and issues column commands earlier to recently-refreshed
+// (charge-rich) rows. No rows are ganged and capacity is untouched; the
+// benefit decays across the refresh window and — the MCR paper's core
+// criticism — depends on predicting cell charge, which PVT variation
+// makes risky. Here the charge model is exact (it is a simulator), so
+// this comparator shows NUAT in its best light.
+
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/circuit"
+	"repro/internal/mcr"
+	"repro/internal/timing"
+)
+
+// NUATConfig parameterizes the charge-aware comparator.
+type NUATConfig struct {
+	// Bins is how many freshness classes the controller distinguishes
+	// across the retention window (NUAT's "charge steps").
+	Bins int
+	// MinLevel is the charge fraction assumed at the end of the window
+	// (1 - worst-case droop): the freshest bin assumes full charge, the
+	// stalest this level.
+	MinLevel float64
+}
+
+// DefaultNUATConfig returns a NUAT-like setup with 8 freshness bins and
+// the paper's 20% worst-case droop.
+func DefaultNUATConfig() NUATConfig {
+	return NUATConfig{Bins: 8, MinLevel: 0.8}
+}
+
+// Validate checks the configuration.
+func (c NUATConfig) Validate() error {
+	if c.Bins < 2 || c.Bins > 64 {
+		return fmt.Errorf("dram: NUAT bins must be in [2, 64], got %d", c.Bins)
+	}
+	if c.MinLevel <= 0.5 || c.MinLevel >= 1 {
+		return fmt.Errorf("dram: NUAT MinLevel must be in (0.5, 1), got %g", c.MinLevel)
+	}
+	return nil
+}
+
+// nuatState holds the per-bin timing classes and the refresh-progress
+// bookkeeping needed to compute a row's freshness.
+type nuatState struct {
+	cfg     NUATConfig
+	bins    []timing.Params // index 0 = freshest
+	wiring  mcr.Wiring
+	rowBits int
+	// counter is the global REF progress (total REFs ever issued); the
+	// device updates it on every refresh.
+	counter int
+}
+
+// newNUATState derives the per-bin parameter sets from the circuit model:
+// bin i assumes the charge a cell holds i/(Bins-1) of the way through the
+// retention window and takes the matching tRCD. tRAS stays at baseline
+// (NUAT's restore must still complete fully).
+func newNUATState(fourGb bool, cfg NUATConfig, wiring mcr.Wiring, rows int) (*nuatState, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := circuit.Default()
+	base := timing.Baseline1x(fourGb)
+	s := &nuatState{cfg: cfg, wiring: wiring, rowBits: log2(rows)}
+	for i := 0; i < cfg.Bins; i++ {
+		frac := float64(i) / float64(cfg.Bins-1)
+		level := 1 - (1-cfg.MinLevel)*frac
+		tRCD, err := p.SenseTimeAt(1, level)
+		if err != nil {
+			return nil, err
+		}
+		ns := base
+		// Never beat the datasheet floor by more than the model justifies,
+		// and never exceed the baseline (stale rows keep standard timing).
+		if tRCD < ns.TRCD {
+			ns.TRCD = tRCD
+		}
+		s.bins = append(s.bins, timing.NewParams(ns))
+	}
+	return s, nil
+}
+
+// log2 of a power of two.
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// binFor returns the freshness bin of a row given the global REF counter:
+// how far (in window fractions) the refresh walk has moved past the row's
+// slot.
+func (s *nuatState) binFor(row int) int {
+	// The row's refresh slot within the window: the counter value whose
+	// generated row address matches the row's low 13 bits (the batch index
+	// covers the rest).
+	low := row & (mcr.RefsPerWindow - 1)
+	slot := mcr.RefreshRowAddress(s.wiring, low, 13) // wiring is involutive for both methods
+	elapsed := (s.counter - slot) % mcr.RefsPerWindow
+	if elapsed < 0 {
+		elapsed += mcr.RefsPerWindow
+	}
+	bin := elapsed * s.cfg.Bins / mcr.RefsPerWindow
+	if bin >= s.cfg.Bins {
+		bin = s.cfg.Bins - 1
+	}
+	return bin
+}
+
+// params returns the timing set for a row's current freshness.
+func (s *nuatState) params(row int) *timing.Params {
+	return &s.bins[s.binFor(row)]
+}

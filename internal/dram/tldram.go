@@ -1,0 +1,103 @@
+// TL-DRAM-like alternative scheme (Lee et al., HPCA 2013), implemented as
+// a comparison baseline: the paper's related-work section contrasts
+// MCR-DRAM against tiered-latency DRAM, which splits every bitline with
+// isolation transistors into a fast *near* segment (rows close to the
+// sense amplifiers, much lower bitline capacitance) and a slightly
+// penalized *far* segment. TL-DRAM keeps full capacity but modifies the
+// bank array (area overhead); MCR-DRAM trades capacity but leaves the
+// array untouched. This model lets the two philosophies race on the same
+// simulator.
+
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
+
+// TLConfig parameterizes the TL-DRAM-like device.
+type TLConfig struct {
+	// NearRegion is the fraction of each sub-array in the near segment
+	// (rows at the high local addresses, nearest the amplifiers).
+	NearRegion float64
+	// Near segment timings (ns): a short bitline senses and restores much
+	// faster. Defaults follow the direction and rough magnitude of the
+	// TL-DRAM paper's reported reductions.
+	NearTRCDNS, NearTRASNS float64
+	// Far segment penalties (ns) added to the baseline: the isolation
+	// transistor sits in the far segment's charge-sharing path.
+	FarTRCDPenaltyNS, FarTRASPenaltyNS float64
+}
+
+// DefaultTLConfig returns a representative near/far split: half the rows
+// near, near tRCD/tRAS roughly halved, ~1 ns far penalties.
+func DefaultTLConfig() TLConfig {
+	return TLConfig{
+		NearRegion:       0.5,
+		NearTRCDNS:       8.0,
+		NearTRASNS:       22.0,
+		FarTRCDPenaltyNS: 1.25,
+		FarTRASPenaltyNS: 1.25,
+	}
+}
+
+// Validate checks the TL configuration.
+func (c TLConfig) Validate() error {
+	switch {
+	case c.NearRegion <= 0 || c.NearRegion >= 1:
+		return fmt.Errorf("dram: TL near region must be in (0,1), got %g", c.NearRegion)
+	case c.NearTRCDNS <= 0 || c.NearTRASNS <= 0:
+		return fmt.Errorf("dram: TL near timings must be positive")
+	case c.FarTRCDPenaltyNS < 0 || c.FarTRASPenaltyNS < 0:
+		return fmt.Errorf("dram: TL far penalties must be non-negative")
+	}
+	return nil
+}
+
+// tlTimings resolves the near/far parameter sets.
+func tlTimings(fourGb bool, tl TLConfig) (near, far timing.Params) {
+	ns := timing.Baseline1x(fourGb)
+	nearNS := ns
+	nearNS.TRCD, nearNS.TRAS = tl.NearTRCDNS, tl.NearTRASNS
+	farNS := ns
+	farNS.TRCD += tl.FarTRCDPenaltyNS
+	farNS.TRAS += tl.FarTRASPenaltyNS
+	return timing.NewParams(nearNS), timing.NewParams(farNS)
+}
+
+// tlState is the device-side classifier for the TL scheme.
+type tlState struct {
+	cfg       TLConfig
+	nearStart int // first near-segment local index
+	subarray  int
+	near, far timing.Params
+}
+
+// newTLState builds the classifier.
+func newTLState(fourGb bool, tl TLConfig, subarrayRows int) (*tlState, error) {
+	if err := tl.Validate(); err != nil {
+		return nil, err
+	}
+	near, far := tlTimings(fourGb, tl)
+	return &tlState{
+		cfg:       tl,
+		nearStart: subarrayRows - int(tl.NearRegion*float64(subarrayRows)+0.5),
+		subarray:  subarrayRows,
+		near:      near,
+		far:       far,
+	}, nil
+}
+
+// isNear reports whether a row is in the near segment.
+func (s *tlState) isNear(row int) bool {
+	return row >= 0 && row&(s.subarray-1) >= s.nearStart
+}
+
+// params returns the segment's timing set.
+func (s *tlState) params(row int) *timing.Params {
+	if s.isNear(row) {
+		return &s.near
+	}
+	return &s.far
+}

@@ -1,0 +1,159 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sec. 5-6): the Table 3 timing constraints, the Fig 10 SPICE
+// transients, the single-core sweeps (Figs 11-13), the multi-core sweeps
+// (Figs 14-16), the mechanism ablation (Fig 17) and the EDP comparison
+// (Fig 18), plus the Fig 8 wiring table. cmd/reproduce and the repository
+// benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/mcr"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Options controls the fidelity of the sweeps.
+type Options struct {
+	// Insts is the per-core instruction budget (0 selects the default:
+	// 1M single-core, 500k per core multi-core).
+	Insts int64
+	// Seed feeds every simulation; baseline and MCR runs share it.
+	Seed int64
+	// Progress, when non-nil, receives one line per finished simulation.
+	Progress func(string)
+	// MaxMixes, when positive, truncates the multi-core workload list to
+	// its first MaxMixes entries (benchmarks and CI use this).
+	MaxMixes int
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Insts == 0 {
+		o.Insts = 1_000_000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) progress(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(fmt.Sprintf(format, args...))
+	}
+}
+
+// Quick returns options sized for benchmarks and CI.
+func Quick() Options { return Options{Insts: 150_000, Seed: 1} }
+
+// baseConfig assembles the shared simulation configuration.
+func baseConfig(o Options, multicore bool, workloads []string, mode mcr.Mode, mech dram.Mechanisms, allocRatio float64, shared bool) sim.Config {
+	cfg := sim.Config{
+		DRAM:            dram.DefaultConfig(mode),
+		Ctrl:            controller.DefaultConfig(),
+		CPU:             cpu.DefaultConfig(),
+		Power:           power.Default(),
+		Workloads:       workloads,
+		InstsPerCore:    o.Insts,
+		Seed:            o.Seed,
+		AllocRatio:      allocRatio,
+		SharedFootprint: shared,
+		PowerDownCycles: 64,
+	}
+	cfg.DRAM.Mech = mech
+	if multicore {
+		cfg.DRAM.Geom = core.MultiCoreGeometry()
+	}
+	return cfg
+}
+
+// Reduction is the improvement of an MCR run over its baseline, in
+// percent (positive = MCR better), for the three reported metrics.
+type Reduction struct {
+	ExecTime    float64
+	ReadLatency float64
+	EDP         float64
+}
+
+// reduce compares two results.
+func reduce(base, m *sim.Result) Reduction {
+	pct := func(b, v float64) float64 {
+		if b == 0 {
+			return 0
+		}
+		return (b - v) / b * 100
+	}
+	return Reduction{
+		ExecTime:    pct(float64(base.ExecCPUCycles), float64(m.ExecCPUCycles)),
+		ReadLatency: pct(base.AvgReadLatencyNS, m.AvgReadLatencyNS),
+		EDP:         pct(base.EDPNJs, m.EDPNJs),
+	}
+}
+
+// mean averages a slice of reductions.
+func mean(rs []Reduction) Reduction {
+	var sum Reduction
+	for _, r := range rs {
+		sum.ExecTime += r.ExecTime
+		sum.ReadLatency += r.ReadLatency
+		sum.EDP += r.EDP
+	}
+	n := float64(len(rs))
+	if n == 0 {
+		return Reduction{}
+	}
+	return Reduction{ExecTime: sum.ExecTime / n, ReadLatency: sum.ReadLatency / n, EDP: sum.EDP / n}
+}
+
+// runPair runs baseline (MCR off, same seed) and variant configurations.
+func runPair(o Options, variant sim.Config) (base, v *sim.Result, err error) {
+	baseCfg := variant
+	baseCfg.DRAM.Mode = mcr.Off()
+	baseCfg.DRAM.Mech = dram.Mechanisms{}
+	baseCfg.AllocRatio = 0
+	base, err = sim.Run(baseCfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	v, err = sim.Run(variant)
+	if err != nil {
+		return nil, nil, err
+	}
+	return base, v, nil
+}
+
+// MultiCoreMixes returns the paper's 16 quad-core workloads: 14
+// multiprogrammed mixes (one workload per suite, rotated deterministically)
+// plus the two multithreaded workloads run as four threads.
+func MultiCoreMixes() [][]string {
+	suites := trace.SuiteNames()
+	var mixes [][]string
+	for i := 0; i < 14; i++ {
+		var mix []string
+		for si, suite := range suites {
+			ws := trace.BySuite(suite)
+			mix = append(mix, ws[(i+si*3)%len(ws)].Name)
+		}
+		mixes = append(mixes, mix)
+	}
+	mixes = append(mixes,
+		[]string{"MT-fluid", "MT-fluid", "MT-fluid", "MT-fluid"},
+		[]string{"MT-canneal", "MT-canneal", "MT-canneal", "MT-canneal"},
+	)
+	return mixes
+}
+
+// MixName labels a multi-core mix.
+func MixName(i int, mix []string) string {
+	if len(mix) > 0 && mix[0] == mix[len(mix)-1] && len(mix) == 4 && (mix[0] == "MT-fluid" || mix[0] == "MT-canneal") {
+		return mix[0]
+	}
+	return fmt.Sprintf("mix%02d", i+1)
+}

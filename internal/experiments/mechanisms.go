@@ -1,0 +1,300 @@
+// Fig 17 (mechanism ablation) and Fig 18 (EDP), plus the design-choice
+// ablations DESIGN.md calls out (wiring, scheduler, row policy).
+
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/dram"
+	"repro/internal/mcr"
+	"repro/internal/sim"
+)
+
+// MechanismCase is one bar group of Fig 17.
+type MechanismCase struct {
+	Name string
+	Mode mcr.Mode
+	Mech dram.Mechanisms
+}
+
+// MechanismCases returns the paper's four cases at mode [100%reg], K=4:
+// case 1 Early-Access only, case 2 +Early-Precharge, case 3 +Fast-Refresh,
+// case 4 +Refresh-Skipping (which needs M < K to differ from case 3 —
+// mode [2/4x]).
+func MechanismCases() []MechanismCase {
+	return []MechanismCase{
+		{Name: "case1 EA", Mode: mcr.MustMode(4, 4, 1), Mech: dram.Mechanisms{EarlyAccess: true}},
+		{Name: "case2 EA+EP", Mode: mcr.MustMode(4, 4, 1), Mech: dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true}},
+		{Name: "case3 EA+EP+FR", Mode: mcr.MustMode(4, 4, 1), Mech: dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true}},
+		{Name: "case4 EA+EP+FR+RS", Mode: mcr.MustMode(4, 2, 1), Mech: dram.AllMechanisms()},
+	}
+}
+
+// Fig17 regenerates the mechanism ablation for the single-core workloads
+// (multicore=false) or the quad-core mixes (multicore=true).
+func Fig17(o Options, multicore bool, workloads []string) (*Sweep, error) {
+	o = o.withDefaults()
+	var sets [][]string
+	var names []string
+	if multicore {
+		sets, names = multiWorkloadSets(o)
+	} else {
+		sets, names = singleWorkloadSets(workloads)
+	}
+	s := &Sweep{Figure: "fig17"}
+	for wi, wl := range sets {
+		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
+		base, err := sim.Run(baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, mc := range MechanismCases() {
+			cfg := baseConfig(o, multicore, wl, mc.Mode, mc.Mech, 0, isShared(wl))
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: mc.Name, Reduction: reduce(base, res)})
+			o.progress("fig17: %s %s done", names[wi], mc.Name)
+		}
+	}
+	s.averageByConfig()
+	return s, nil
+}
+
+// NormalizeTo returns the sweep's average execution-time reductions
+// normalized to one configuration (Fig 17's bracket values are normalized
+// to case 3). Configurations map to their reduction divided by the
+// reference's; the reference itself maps to 1.
+func NormalizeTo(s *Sweep, reference string) (map[string]float64, error) {
+	ref, ok := s.Average[reference]
+	if !ok {
+		return nil, fmt.Errorf("experiments: no configuration %q in sweep %s", reference, s.Figure)
+	}
+	if ref.ExecTime == 0 {
+		return nil, fmt.Errorf("experiments: reference %q has zero reduction", reference)
+	}
+	out := make(map[string]float64, len(s.Average))
+	for cfgName, r := range s.Average {
+		out[cfgName] = r.ExecTime / ref.ExecTime
+	}
+	return out, nil
+}
+
+// Fig18 regenerates the EDP comparison: modes [2/2x], [4/4x] and [2/4x] at
+// 100%reg with all mechanisms on.
+func Fig18(o Options, multicore bool, workloads []string) (*Sweep, error) {
+	o = o.withDefaults()
+	var sets [][]string
+	var names []string
+	if multicore {
+		sets, names = multiWorkloadSets(o)
+	} else {
+		sets, names = singleWorkloadSets(workloads)
+	}
+	modes := []mcr.Mode{
+		mcr.MustMode(2, 2, 1),
+		mcr.MustMode(4, 4, 1),
+		mcr.MustMode(4, 2, 1),
+	}
+	s := &Sweep{Figure: "fig18"}
+	for wi, wl := range sets {
+		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
+		base, err := sim.Run(baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modes {
+			cfg := baseConfig(o, multicore, wl, mode, dram.AllMechanisms(), 0, isShared(wl))
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: mode.String(), Reduction: reduce(base, res)})
+			o.progress("fig18: %s %s done", names[wi], mode)
+		}
+	}
+	s.averageByConfig()
+	return s, nil
+}
+
+// CombinedLayout compares the paper's Sec. 4.4 combination of 2x and 4x
+// MCRs against the pure modes at matched capacity cost. The combined
+// layout gangs 25% of rows as 4x and 25% as 2x (capacity overhead
+// 0.25*3/4 + 0.25*1/2 = 31%), between pure [4/4x/50%reg] (37.5%) and pure
+// [2/2x/50%reg] (25%).
+func CombinedLayout(o Options, workloads []string) (*Sweep, error) {
+	o = o.withDefaults()
+	s := &Sweep{Figure: "combined"}
+	layout, err := mcr.NewLayout(
+		mcr.Band{K: 4, M: 4, Region: 0.25},
+		mcr.Band{K: 2, M: 2, Region: 0.25},
+	)
+	if err != nil {
+		return nil, err
+	}
+	for _, w := range workloads {
+		wl := []string{w}
+		base, err := sim.Run(baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false))
+		if err != nil {
+			return nil, err
+		}
+		variants := []struct {
+			label string
+			mut   func(*sim.Config)
+		}{
+			{"pure [2/2x/50%reg]", func(c *sim.Config) {
+				c.DRAM.Mode = mcr.MustMode(2, 2, 0.5)
+				c.AllocRatio = 0.2
+			}},
+			{"pure [4/4x/50%reg]", func(c *sim.Config) {
+				c.DRAM.Mode = mcr.MustMode(4, 4, 0.5)
+				c.AllocRatio = 0.2
+			}},
+			{"combined 4x+2x", func(c *sim.Config) {
+				c.DRAM.Mode = mcr.Off()
+				c.DRAM.Layout = layout
+				c.AllocRatio4, c.AllocRatio2 = 0.05, 0.15
+			}},
+		}
+		for _, v := range variants {
+			cfg := baseConfig(o, false, wl, mcr.Off(), dram.AllMechanisms(), 0, false)
+			v.mut(&cfg)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SweepPoint{Workload: w, Config: v.label, Reduction: reduce(base, res)})
+			o.progress("combined: %s %s done", w, v.label)
+		}
+	}
+	s.averageByConfig()
+	return s, nil
+}
+
+// TLDRAMComparison races the two low-latency philosophies the paper's
+// related-work section contrasts: MCR-DRAM (capacity trade, no bank
+// change) against a TL-DRAM-like near/far split (full capacity, bank-array
+// area overhead). Both get a 50% fast region and no profile allocation, so
+// traffic lands on the fast rows in proportion to the region size and the
+// comparison isolates the timing trade-offs.
+func TLDRAMComparison(o Options, workloads []string) (*Sweep, error) {
+	o = o.withDefaults()
+	s := &Sweep{Figure: "tldram"}
+	for _, w := range workloads {
+		wl := []string{w}
+		base, err := sim.Run(baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false))
+		if err != nil {
+			return nil, err
+		}
+		variants := []struct {
+			label string
+			mut   func(*sim.Config)
+		}{
+			{"MCR [2/2x/50%reg]", func(c *sim.Config) {
+				c.DRAM.Mode = mcr.MustMode(2, 2, 0.5)
+				c.DRAM.Mech = dram.AllMechanisms()
+			}},
+			{"MCR [4/4x/50%reg]", func(c *sim.Config) {
+				c.DRAM.Mode = mcr.MustMode(4, 4, 0.5)
+				c.DRAM.Mech = dram.AllMechanisms()
+			}},
+			{"TL-DRAM-like 50% near", func(c *sim.Config) {
+				tl := dram.DefaultTLConfig()
+				c.DRAM.Mode = mcr.Off()
+				c.DRAM.TL = &tl
+			}},
+			{"NUAT-like charge-aware", func(c *sim.Config) {
+				n := dram.DefaultNUATConfig()
+				c.DRAM.Mode = mcr.Off()
+				c.DRAM.NUAT = &n
+			}},
+		}
+		for _, v := range variants {
+			cfg := baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false)
+			v.mut(&cfg)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SweepPoint{Workload: w, Config: v.label, Reduction: reduce(base, res)})
+			o.progress("tldram: %s %s done", w, v.label)
+		}
+	}
+	s.averageByConfig()
+	return s, nil
+}
+
+// Ablation compares design choices on a fixed workload set under mode
+// [4/4x/100%reg]. The returned sweep's configs are the variants.
+type AblationKind int
+
+// Supported ablations.
+const (
+	// AblationWiring compares K-to-N-1-K against K-to-K counter wiring.
+	AblationWiring AblationKind = iota
+	// AblationScheduler compares FR-FCFS against FCFS.
+	AblationScheduler
+	// AblationRowPolicy compares open-page against close-page.
+	AblationRowPolicy
+)
+
+// Ablation runs one design-choice comparison over the given single-core
+// workloads.
+func Ablation(o Options, kind AblationKind, workloads []string) (*Sweep, error) {
+	o = o.withDefaults()
+	s := &Sweep{Figure: "ablation"}
+	mode := mcr.MustMode(4, 4, 1)
+	for _, w := range workloads {
+		wl := []string{w}
+		baseCfg := baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false)
+		base, err := sim.Run(baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		var variants []struct {
+			label string
+			mut   func(*sim.Config)
+		}
+		switch kind {
+		case AblationWiring:
+			variants = []struct {
+				label string
+				mut   func(*sim.Config)
+			}{
+				{"wiring K-to-N-1-K", func(c *sim.Config) { c.DRAM.Wiring = mcr.KtoN1K }},
+				{"wiring K-to-K", func(c *sim.Config) { c.DRAM.Wiring = mcr.KtoK }},
+			}
+		case AblationScheduler:
+			variants = []struct {
+				label string
+				mut   func(*sim.Config)
+			}{
+				{"FR-FCFS", func(c *sim.Config) { c.Ctrl.Scheduler = controller.FRFCFS }},
+				{"FCFS", func(c *sim.Config) { c.Ctrl.Scheduler = controller.FCFS }},
+			}
+		case AblationRowPolicy:
+			variants = []struct {
+				label string
+				mut   func(*sim.Config)
+			}{
+				{"open-page", func(c *sim.Config) { c.Ctrl.RowPolicy = controller.OpenPage }},
+				{"close-page", func(c *sim.Config) { c.Ctrl.RowPolicy = controller.ClosePage }},
+			}
+		}
+		for _, v := range variants {
+			cfg := baseConfig(o, false, wl, mode, dram.AllMechanisms(), 0, false)
+			v.mut(&cfg)
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SweepPoint{Workload: w, Config: v.label, Reduction: reduce(base, res)})
+			o.progress("ablation: %s %s done", w, v.label)
+		}
+	}
+	s.averageByConfig()
+	return s, nil
+}

@@ -1,0 +1,228 @@
+// The figure sweeps: MCR-ratio sensitivity (Figs 11/14), profile-based
+// allocation (Figs 12/15), MCR-mode analysis (Figs 13/16), the mechanism
+// ablation (Fig 17) and the EDP comparison (Fig 18).
+
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/mcr"
+	"repro/internal/sim"
+)
+
+// SweepPoint is one (workload/mix, configuration) cell of a figure.
+type SweepPoint struct {
+	Workload string
+	Config   string // figure-specific label, e.g. "[4/4x] ratio 1.0"
+	Reduction
+}
+
+// Sweep is one regenerated figure: its points plus per-configuration means
+// (the "avg" bars of the paper's plots).
+type Sweep struct {
+	Figure  string
+	Points  []SweepPoint
+	Average map[string]Reduction
+}
+
+// averageByConfig fills Sweep.Average.
+func (s *Sweep) averageByConfig() {
+	byCfg := map[string][]Reduction{}
+	var order []string
+	for _, p := range s.Points {
+		if _, ok := byCfg[p.Config]; !ok {
+			order = append(order, p.Config)
+		}
+		byCfg[p.Config] = append(byCfg[p.Config], p.Reduction)
+	}
+	s.Average = make(map[string]Reduction, len(order))
+	for _, cfg := range order {
+		s.Average[cfg] = mean(byCfg[cfg])
+	}
+}
+
+// eaEpOnly is the Fig 11/14 mechanism set: Early-Access and Early-Precharge
+// without Fast-Refresh or Refresh-Skipping.
+func eaEpOnly() dram.Mechanisms {
+	return dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true}
+}
+
+// ratioModes are the Fig 11/14 configurations: modes [2/2x] and [4/4x] at
+// MCR-to-total-row ratios 0.25, 0.5 and 1.0.
+func ratioModes() []struct {
+	label string
+	mode  mcr.Mode
+} {
+	var out []struct {
+		label string
+		mode  mcr.Mode
+	}
+	for _, k := range []int{2, 4} {
+		for _, ratio := range []float64{0.25, 0.5, 1.0} {
+			out = append(out, struct {
+				label string
+				mode  mcr.Mode
+			}{
+				label: fmt.Sprintf("[%d/%dx] ratio %.2f", k, k, ratio),
+				mode:  mcr.MustMode(k, k, ratio),
+			})
+		}
+	}
+	return out
+}
+
+// ratioSweep is the engine shared by Fig 11 and Fig 14.
+func ratioSweep(o Options, figure string, multicore bool, workloads [][]string, names []string) (*Sweep, error) {
+	o = o.withDefaults()
+	s := &Sweep{Figure: figure}
+	modes := ratioModes()
+	for wi, wl := range workloads {
+		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
+		base, err := sim.Run(baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		o.progress("%s: %s baseline done", figure, names[wi])
+		for _, m := range modes {
+			cfg := baseConfig(o, multicore, wl, m.mode, eaEpOnly(), 0, isShared(wl))
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: m.label, Reduction: reduce(base, res)})
+			o.progress("%s: %s %s done", figure, names[wi], m.label)
+		}
+	}
+	s.averageByConfig()
+	return s, nil
+}
+
+// isShared reports whether a mix is a multithreaded (shared footprint) run.
+func isShared(mix []string) bool {
+	return len(mix) == 4 && (mix[0] == "MT-fluid" || mix[0] == "MT-canneal") && mix[0] == mix[1]
+}
+
+// singleWorkloadSets adapts the 14 single-core workloads to the sweep engine.
+func singleWorkloadSets(names []string) ([][]string, []string) {
+	sets := make([][]string, len(names))
+	for i, n := range names {
+		sets[i] = []string{n}
+	}
+	return sets, names
+}
+
+// multiWorkloadSets adapts the 16 quad-core mixes, truncated to
+// o.MaxMixes when set.
+func multiWorkloadSets(o Options) ([][]string, []string) {
+	mixes := MultiCoreMixes()
+	if o.MaxMixes > 0 && o.MaxMixes < len(mixes) {
+		mixes = mixes[:o.MaxMixes]
+	}
+	names := make([]string, len(mixes))
+	for i, m := range mixes {
+		names[i] = MixName(i, m)
+	}
+	return mixes, names
+}
+
+// Fig11 regenerates the single-core MCR-ratio sensitivity figure.
+func Fig11(o Options, workloads []string) (*Sweep, error) {
+	sets, names := singleWorkloadSets(workloads)
+	return ratioSweep(o, "fig11", false, sets, names)
+}
+
+// Fig14 regenerates the multi-core MCR-ratio sensitivity figure.
+func Fig14(o Options) (*Sweep, error) {
+	sets, names := multiWorkloadSets(o)
+	return ratioSweep(o, "fig14", true, sets, names)
+}
+
+// allocSweep is the engine shared by Fig 12 and Fig 15: mode [4/4x/50%reg]
+// with profile-based page allocation at 10/20/30%.
+func allocSweep(o Options, figure string, multicore bool, workloads [][]string, names []string) (*Sweep, error) {
+	o = o.withDefaults()
+	s := &Sweep{Figure: figure}
+	mode := mcr.MustMode(4, 4, 0.5)
+	for wi, wl := range workloads {
+		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
+		base, err := sim.Run(baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, ratio := range []float64{0.1, 0.2, 0.3} {
+			cfg := baseConfig(o, multicore, wl, mode, dram.AllMechanisms(), ratio, isShared(wl))
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			label := fmt.Sprintf("alloc %.0f%%", ratio*100)
+			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: label, Reduction: reduce(base, res)})
+			o.progress("%s: %s %s done", figure, names[wi], label)
+		}
+	}
+	s.averageByConfig()
+	return s, nil
+}
+
+// Fig12 regenerates the single-core profile-allocation figure.
+func Fig12(o Options, workloads []string) (*Sweep, error) {
+	sets, names := singleWorkloadSets(workloads)
+	return allocSweep(o, "fig12", false, sets, names)
+}
+
+// Fig15 regenerates the multi-core profile-allocation figure.
+func Fig15(o Options) (*Sweep, error) {
+	sets, names := multiWorkloadSets(o)
+	return allocSweep(o, "fig15", true, sets, names)
+}
+
+// modeAnalysisConfigs are the Fig 13/16 MCR-modes: every M/Kx variant at
+// region 25/50/75%.
+func modeAnalysisConfigs() []mcr.Mode {
+	var out []mcr.Mode
+	for _, km := range [][2]int{{2, 2}, {2, 1}, {4, 4}, {4, 2}, {4, 1}} {
+		for _, reg := range []float64{0.25, 0.5, 0.75} {
+			out = append(out, mcr.MustMode(km[0], km[1], reg))
+		}
+	}
+	return out
+}
+
+// modeSweep is the engine shared by Fig 13 and Fig 16: 10% allocation, all
+// mechanisms, averaged over workloads (the paper plots averages only).
+func modeSweep(o Options, figure string, multicore bool, workloads [][]string, names []string) (*Sweep, error) {
+	o = o.withDefaults()
+	s := &Sweep{Figure: figure}
+	for wi, wl := range workloads {
+		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
+		base, err := sim.Run(baseCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range modeAnalysisConfigs() {
+			cfg := baseConfig(o, multicore, wl, mode, dram.AllMechanisms(), 0.1, isShared(wl))
+			res, err := sim.Run(cfg)
+			if err != nil {
+				return nil, err
+			}
+			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: mode.String(), Reduction: reduce(base, res)})
+			o.progress("%s: %s %s done", figure, names[wi], mode)
+		}
+	}
+	s.averageByConfig()
+	return s, nil
+}
+
+// Fig13 regenerates the single-core MCR-mode analysis.
+func Fig13(o Options, workloads []string) (*Sweep, error) {
+	sets, names := singleWorkloadSets(workloads)
+	return modeSweep(o, "fig13", false, sets, names)
+}
+
+// Fig16 regenerates the multi-core MCR-mode analysis.
+func Fig16(o Options) (*Sweep, error) {
+	sets, names := multiWorkloadSets(o)
+	return modeSweep(o, "fig16", true, sets, names)
+}

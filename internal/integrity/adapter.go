@@ -1,0 +1,80 @@
+// DeviceAdapter plugs the retention checker into a dram.Device as its
+// command-stream hook, translating device events (cycles, addresses) into
+// checker events (milliseconds, bank/row).
+
+package integrity
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dram"
+)
+
+// DeviceAdapter implements dram.Hook over a Checker.
+type DeviceAdapter struct {
+	cfg     Config
+	checker *Checker
+	geom    core.Geometry
+}
+
+// Attach builds an adapter for the device and installs it as the hook.
+func Attach(dev *dram.Device, cfg Config) (*DeviceAdapter, error) {
+	checker, err := New(cfg, dev.LayoutGenerator())
+	if err != nil {
+		return nil, err
+	}
+	a := &DeviceAdapter{cfg: cfg, checker: checker, geom: dev.Config().Geom}
+	dev.SetHook(a)
+	return a, nil
+}
+
+// ms converts a memory cycle count to milliseconds.
+func ms(now int64) float64 { return core.MemCyclesToNS(now) / 1e6 }
+
+// Activated implements dram.Hook: verify the opened cells still held data.
+func (a *DeviceAdapter) Activated(addr core.Address, now int64) {
+	a.checker.CheckActivate(addr.BankID(a.geom), addr.Row, ms(now))
+}
+
+// Precharged implements dram.Hook: the closed row was restored to its
+// class level.
+func (a *DeviceAdapter) Precharged(addr core.Address, row int, mEff int, now int64) {
+	if row < 0 {
+		return
+	}
+	a.checker.RecordRestore(addr.BankID(a.geom), row, a.cfg.RestoreLevelFor(mEff), ms(now))
+}
+
+// Refreshed implements dram.Hook: the batch rows (in every bank of the
+// rank) were restored to the refresh class level.
+func (a *DeviceAdapter) Refreshed(ch, rank int, rows []int, mEff int, now int64) {
+	level := a.cfg.RestoreLevelFor(mEff)
+	t := ms(now)
+	for b := 0; b < a.geom.Banks; b++ {
+		bankID := core.Address{Channel: ch, Rank: rank, Bank: b}.BankID(a.geom)
+		for _, r := range rows {
+			a.checker.RecordRestore(bankID, r, level, t)
+		}
+	}
+}
+
+// Finish sweeps every tracked row at the end of a run.
+func (a *DeviceAdapter) Finish(now int64) { a.checker.Sweep(ms(now)) }
+
+// Ok reports whether the run was retention-safe.
+func (a *DeviceAdapter) Ok() bool { return a.checker.Ok() }
+
+// Violations returns the detected failures.
+func (a *DeviceAdapter) Violations() []Violation { return a.checker.Violations() }
+
+// Err summarizes the violations as one error (nil when safe).
+func (a *DeviceAdapter) Err() error {
+	vs := a.checker.Violations()
+	if len(vs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("integrity: %d retention violations, first: %v", len(vs), vs[0])
+}
+
+var _ dram.Hook = (*DeviceAdapter)(nil)

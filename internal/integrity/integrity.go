@@ -1,0 +1,210 @@
+// Package integrity is a retention-safety checker for the DRAM device: it
+// shadows the command stream and verifies the property the whole MCR-DRAM
+// proposal rests on — that no cell's stored charge ever droops below the
+// data-retention floor before its next refresh or activation.
+//
+// The model follows the paper's Sec. 3.3 accounting. A cell restored to
+// level L (fraction of full charge, 1.0 = fully restored) loses
+// leakPerMs * t of charge over t milliseconds; data survives while
+// L - leakPerMs*t >= floor, where floor = 1 - leakPerMs*retention is the
+// level a *fully restored* cell reaches after one full retention window.
+// Early-Precharge is safe exactly when the restore level sacrificed is no
+// more than the leakage budget reclaimed by the shorter refresh interval —
+// the checker verifies this numerically, event by event, instead of
+// trusting the derivation.
+//
+// Retention is configurable so tests can scale a 64 ms window down to
+// simulation-sized runs and actually exercise wraparounds.
+package integrity
+
+import (
+	"fmt"
+
+	"repro/internal/mcr"
+)
+
+// Config sets the checker's physical assumptions.
+type Config struct {
+	// RetentionMs is the worst-case cell retention window (64 by default,
+	// 32 for the JEDEC high-temperature range).
+	RetentionMs float64
+	// LeakFracPerWindow is the charge fraction a worst-case cell loses
+	// over one full retention window (the paper's Fig 1 example: 0.2).
+	LeakFracPerWindow float64
+}
+
+// DefaultConfig returns the paper's normal-temperature assumptions.
+func DefaultConfig() Config {
+	return Config{RetentionMs: 64, LeakFracPerWindow: 0.2}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.RetentionMs <= 0 {
+		return fmt.Errorf("integrity: RetentionMs must be positive, got %g", c.RetentionMs)
+	}
+	if c.LeakFracPerWindow <= 0 || c.LeakFracPerWindow >= 1 {
+		return fmt.Errorf("integrity: LeakFracPerWindow must be in (0,1), got %g", c.LeakFracPerWindow)
+	}
+	return nil
+}
+
+// Violation records one detected retention failure.
+type Violation struct {
+	Bank      int // flattened bank id
+	Row       int
+	AtMs      float64 // when the charge crossed the floor
+	Level     float64 // restore level at the last charge event
+	SinceMs   float64 // time since that event
+	FloorFrac float64
+}
+
+// Error renders the violation.
+func (v Violation) Error() string {
+	return fmt.Sprintf("integrity: bank %d row %d lost data at %.3f ms (level %.4f, %.3f ms since restore, floor %.4f)",
+		v.Bank, v.Row, v.AtMs, v.Level, v.SinceMs, v.FloorFrac)
+}
+
+// rowState is the last charge event of one row.
+type rowState struct {
+	atMs  float64 // time of the event
+	level float64 // restore level written then (fraction of full)
+	ever  bool    // whether the row has ever been written/refreshed
+}
+
+// Cloner yields the wordlines that fire together for a row; both
+// mcr.Generator and mcr.LayoutGenerator satisfy it.
+type Cloner interface {
+	CloneRows(row int) []int
+}
+
+// Checker shadows one bank group's rows.
+type Checker struct {
+	cfg   Config
+	gen   Cloner
+	rows  map[int]map[int]*rowState // bank -> row -> state
+	found []Violation
+	// floor is the minimum survivable charge level: what a fully restored
+	// cell decays to over one full window.
+	floor float64
+}
+
+// New builds a checker; gen supplies the MCR geometry so clone rows share
+// charge events.
+func New(cfg Config, gen Cloner) (*Checker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if gen == nil || gen == (*mcr.Generator)(nil) {
+		return nil, fmt.Errorf("integrity: checker needs a generator")
+	}
+	return &Checker{
+		cfg:   cfg,
+		gen:   gen,
+		rows:  make(map[int]map[int]*rowState),
+		floor: 1 - cfg.LeakFracPerWindow,
+	}, nil
+}
+
+// state returns (allocating) the row's shadow state.
+func (c *Checker) state(bank, row int) *rowState {
+	br := c.rows[bank]
+	if br == nil {
+		br = make(map[int]*rowState)
+		c.rows[bank] = br
+	}
+	st := br[row]
+	if st == nil {
+		st = &rowState{}
+		br[row] = st
+	}
+	return st
+}
+
+// levelAt returns the charge level of a row at time t, and whether it has
+// any recorded history.
+func (c *Checker) levelAt(st *rowState, tMs float64) (float64, bool) {
+	if !st.ever {
+		return 0, false
+	}
+	leakRate := c.cfg.LeakFracPerWindow / c.cfg.RetentionMs
+	return st.level - leakRate*(tMs-st.atMs), true
+}
+
+// check verifies a row still holds data at time t, recording a violation
+// otherwise.
+func (c *Checker) check(bank, row int, tMs float64) {
+	st := c.state(bank, row)
+	level, ok := c.levelAt(st, tMs)
+	if !ok {
+		return // never written: nothing to lose
+	}
+	if level < c.floor-1e-12 {
+		c.found = append(c.found, Violation{
+			Bank: bank, Row: row, AtMs: tMs,
+			Level: st.level, SinceMs: tMs - st.atMs, FloorFrac: c.floor,
+		})
+	}
+}
+
+// CheckActivate verifies the cells of a row (and its clones) still hold
+// data at activation time, without recharging them; pair it with
+// RecordRestore at precharge time.
+func (c *Checker) CheckActivate(bank, row int, tMs float64) {
+	for _, r := range c.gen.CloneRows(row) {
+		c.check(bank, r, tMs)
+	}
+}
+
+// RecordRestore notes that a row (and its clones) was recharged to the
+// given level at time t (precharge or refresh completion).
+func (c *Checker) RecordRestore(bank, row int, restoreLevel, tMs float64) {
+	for _, r := range c.gen.CloneRows(row) {
+		st := c.state(bank, r)
+		st.atMs, st.level, st.ever = tMs, restoreLevel, true
+	}
+}
+
+// RecordActivate notes an activation of a row (and its clones) completing
+// with the given restore level at time t. The level is what the device's
+// tRAS class guarantees: 1.0 for a full restore, less under
+// Early-Precharge. Activation first *checks* the cells still held data.
+func (c *Checker) RecordActivate(bank, row int, restoreLevel, tMs float64) {
+	c.CheckActivate(bank, row, tMs)
+	c.RecordRestore(bank, row, restoreLevel, tMs)
+}
+
+// RecordRefresh notes a refresh of a row (and clones) restoring to the
+// given level at time t.
+func (c *Checker) RecordRefresh(bank, row int, restoreLevel, tMs float64) {
+	c.RecordActivate(bank, row, restoreLevel, tMs)
+}
+
+// Sweep checks every tracked row at time t (call at end of simulation).
+func (c *Checker) Sweep(tMs float64) {
+	for bank, br := range c.rows {
+		for row := range br {
+			c.check(bank, row, tMs)
+		}
+	}
+}
+
+// Violations returns everything found so far.
+func (c *Checker) Violations() []Violation { return c.found }
+
+// Ok reports whether the schedule has been retention-safe.
+func (c *Checker) Ok() bool { return len(c.found) == 0 }
+
+// RestoreLevelFor translates an M/Kx mode's Early-Precharge target into a
+// restore level for the checker: the paper's rule is that a cell refreshed
+// every RetentionMs/m may be restored to
+//
+//	1 - LeakFracPerWindow*(1 - 1/m)
+//
+// which decays to exactly the floor after its (shorter) interval.
+func (c Config) RestoreLevelFor(m int) float64 {
+	if m < 1 {
+		m = 1
+	}
+	return 1 - c.LeakFracPerWindow*(1-1/float64(m))
+}

@@ -1,0 +1,140 @@
+package mcr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestTable2Mapping pins the paper's Table 2: which physical rows (by their
+// two LSBs R1R0) are reachable in each mode.
+func TestTable2Mapping(t *testing.T) {
+	cases := []struct {
+		k          int
+		accessible map[int]bool // R1R0 -> reachable
+		visible    int          // OS-visible rows out of 16
+	}{
+		{4, map[int]bool{0b00: true, 0b01: false, 0b10: false, 0b11: false}, 4},
+		{2, map[int]bool{0b00: true, 0b01: false, 0b10: true, 0b11: false}, 8},
+		{1, map[int]bool{0b00: true, 0b01: true, 0b10: true, 0b11: true}, 16},
+	}
+	for _, c := range cases {
+		m, err := NewCapacityMapper(c.k, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := m.OSVisibleRows(16); got != c.visible {
+			t.Errorf("K=%d: visible rows = %d, want %d", c.k, got, c.visible)
+		}
+		reached := map[int]bool{}
+		for os := 0; os < m.OSVisibleRows(16); os++ {
+			phys, err := m.MapRow(os)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reached[phys] = true
+			if !m.Accessible(phys) {
+				t.Errorf("K=%d: mapped row %d reported inaccessible", c.k, phys)
+			}
+		}
+		for phys := 0; phys < 16; phys++ {
+			want := c.accessible[phys&3]
+			if reached[phys] != want {
+				t.Errorf("K=%d: row %04b reachable=%v, want %v", c.k, phys, reached[phys], want)
+			}
+			if m.Accessible(phys) != want {
+				t.Errorf("K=%d: Accessible(%04b) = %v, want %v", c.k, phys, m.Accessible(phys), want)
+			}
+		}
+	}
+}
+
+func TestNewCapacityMapperRejects(t *testing.T) {
+	if _, err := NewCapacityMapper(3, 10); err == nil {
+		t.Fatal("K=3 must be rejected")
+	}
+	if _, err := NewCapacityMapper(2, 2); err == nil {
+		t.Fatal("tiny row space must be rejected")
+	}
+}
+
+func TestMapRowRange(t *testing.T) {
+	m, err := NewCapacityMapper(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.MapRow(-1); err == nil {
+		t.Fatal("negative OS row must be rejected")
+	}
+	if _, err := m.MapRow(4); err == nil {
+		t.Fatal("OS row beyond the visible space must be rejected")
+	}
+}
+
+// TestRelaxPreservesPlacement pins the dynamic-mode guarantee: after
+// relaxing 4x -> 2x -> 1x, every previously reachable OS row still maps to
+// the same physical row.
+func TestRelaxPreservesPlacement(t *testing.T) {
+	m4, err := NewCapacityMapper(4, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := m4.RelaxTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := m2.RelaxTo(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for os := 0; os < 1<<13; os += 97 {
+		p4, err := m4.MapRow(os)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := m2.MapRow(os << 1) // same page, shifted OS numbering
+		if err != nil {
+			t.Fatal(err)
+		}
+		p1, err := m1.MapRow(os << 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p4 != p2 || p4 != p1 {
+			t.Fatalf("os row %d moved: 4x->%d 2x->%d 1x->%d", os, p4, p2, p1)
+		}
+	}
+}
+
+func TestRelaxRejectsTightening(t *testing.T) {
+	m2, err := NewCapacityMapper(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.RelaxTo(4); err == nil {
+		t.Fatal("tightening 2x -> 4x must be rejected")
+	}
+}
+
+// Property: MapRow is injective and always lands on an accessible row.
+func TestMapRowInjectiveQuick(t *testing.T) {
+	m, err := NewCapacityMapper(2, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]int{}
+	err = quick.Check(func(raw uint16) bool {
+		os := int(raw) % (1 << 11)
+		phys, err := m.MapRow(os)
+		if err != nil {
+			return false
+		}
+		if prev, ok := seen[phys]; ok && prev != os {
+			return false
+		}
+		seen[phys] = os
+		return m.Accessible(phys)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

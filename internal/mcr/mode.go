@@ -1,0 +1,95 @@
+// Package mcr implements the paper's peripheral-circuit proposal: the
+// MCR-mode configuration [M/Kx/L%reg] (Table 1), the MCR generator that
+// detects MCR rows and gangs K wordlines (Sec. 4.2, Fig 7), the two
+// refresh-counter wiring methods (Sec. 4.3, Fig 8), the Refresh-Skipping
+// schedule (Fig 9), and the physical-address mapping that prevents data
+// collision under dynamic mode changes (Table 2).
+package mcr
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Mode is one MCR-mode configuration [M/Kx/L%reg] (paper Table 1):
+// K rows per MCR, M refreshes per MCR per 64 ms window, and the fraction of
+// all rows that belong to MCRs.
+type Mode struct {
+	K      int     // rows ganged per MCR: 1 (off), 2 or 4
+	M      int     // refreshes kept per MCR per window: 1 <= M <= K, power of two
+	Region float64 // L%reg: fraction of rows in MCRs (0, 0.25, 0.5, 0.75 or 1)
+}
+
+// Off returns the disabled MCR-mode: the DRAM behaves as a conventional
+// full-capacity device.
+func Off() Mode { return Mode{K: 1, M: 1, Region: 0} }
+
+// NewMode builds a validated mode from K, M and the region fraction.
+func NewMode(k, m int, region float64) (Mode, error) {
+	md := Mode{K: k, M: m, Region: region}
+	if err := md.Validate(); err != nil {
+		return Mode{}, err
+	}
+	return md, nil
+}
+
+// MustMode is NewMode that panics on invalid input; for tests and tables of
+// constant configurations.
+func MustMode(k, m int, region float64) Mode {
+	md, err := NewMode(k, m, region)
+	if err != nil {
+		panic(err)
+	}
+	return md
+}
+
+// Validate checks the Table 1 constraints on the configuration.
+func (md Mode) Validate() error {
+	switch md.K {
+	case 1, 2, 4:
+	default:
+		return fmt.Errorf("mcr: K must be 1, 2 or 4, got %d", md.K)
+	}
+	if md.M < 1 || md.M > md.K || bits.OnesCount(uint(md.M)) != 1 {
+		return fmt.Errorf("mcr: M must be a power of two with 1 <= M <= K, got M=%d K=%d", md.M, md.K)
+	}
+	switch md.Region {
+	case 0, 0.25, 0.5, 0.75, 1:
+	default:
+		return fmt.Errorf("mcr: region must be one of 0, 0.25, 0.5, 0.75, 1, got %g", md.Region)
+	}
+	if md.K == 1 && md.Region != 0 {
+		return fmt.Errorf("mcr: 1x mode must have an empty MCR region, got %g", md.Region)
+	}
+	if md.K > 1 && md.Region == 0 {
+		return fmt.Errorf("mcr: %dx mode needs a non-empty MCR region", md.K)
+	}
+	return nil
+}
+
+// Enabled reports whether the mode actually gangs rows.
+func (md Mode) Enabled() bool { return md.K > 1 && md.Region > 0 }
+
+// SkipRatio returns the fraction of this mode's natural MCR refreshes that
+// Refresh-Skipping suppresses: (K-M)/K.
+func (md Mode) SkipRatio() float64 {
+	if md.K == 0 {
+		return 0
+	}
+	return float64(md.K-md.M) / float64(md.K)
+}
+
+// RefreshIntervalMs returns the worst-case refresh interval of a cell in
+// one of this mode's MCRs under the K-to-N-1-K wiring: 64/M ms.
+func (md Mode) RefreshIntervalMs() float64 { return 64 / float64(md.M) }
+
+// String renders the paper's "[M/Kx/L%reg]" notation.
+func (md Mode) String() string {
+	if !md.Enabled() {
+		return "mode [off]"
+	}
+	return fmt.Sprintf("mode [%d/%dx/%d%%reg]", md.M, md.K, int(md.Region*100+0.5))
+}
+
+// LgK returns log2(K).
+func (md Mode) LgK() int { return bits.TrailingZeros(uint(md.K)) }

@@ -1,0 +1,157 @@
+package mcr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestModeValidate(t *testing.T) {
+	valid := []Mode{
+		Off(),
+		{K: 2, M: 1, Region: 0.25},
+		{K: 2, M: 2, Region: 1},
+		{K: 4, M: 1, Region: 0.5},
+		{K: 4, M: 2, Region: 0.75},
+		{K: 4, M: 4, Region: 1},
+	}
+	for _, m := range valid {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", m, err)
+		}
+	}
+	invalid := []Mode{
+		{K: 3, M: 1, Region: 0.5}, // K not 1/2/4
+		{K: 8, M: 8, Region: 1},   // K too large
+		{K: 4, M: 3, Region: 0.5}, // M not a power of two
+		{K: 4, M: 8, Region: 0.5}, // M > K
+		{K: 2, M: 0, Region: 0.5}, // M < 1
+		{K: 2, M: 2, Region: 0.3}, // region not a quarter
+		{K: 1, M: 1, Region: 0.5}, // 1x must have empty region
+		{K: 2, M: 2, Region: 0},   // enabled mode with empty region
+	}
+	for _, m := range invalid {
+		if err := m.Validate(); err == nil {
+			t.Errorf("%+v should be rejected", m)
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if got := MustMode(2, 4/2, 0.75).String(); got != "mode [2/2x/75%reg]" {
+		t.Fatalf("String() = %q", got)
+	}
+	if got := Off().String(); got != "mode [off]" {
+		t.Fatalf("Off().String() = %q", got)
+	}
+}
+
+func TestModeHelpers(t *testing.T) {
+	m := MustMode(4, 2, 1)
+	if !m.Enabled() {
+		t.Fatal("4x mode must be enabled")
+	}
+	if Off().Enabled() {
+		t.Fatal("off mode must be disabled")
+	}
+	if m.SkipRatio() != 0.5 {
+		t.Fatalf("2/4x skip ratio = %g, want 0.5", m.SkipRatio())
+	}
+	if m.RefreshIntervalMs() != 32 {
+		t.Fatalf("2/4x refresh interval = %g ms, want 32", m.RefreshIntervalMs())
+	}
+	if m.LgK() != 2 {
+		t.Fatalf("LgK(4) = %d, want 2", m.LgK())
+	}
+	if MustMode(2, 2, 1).LgK() != 1 {
+		t.Fatal("LgK(2) must be 1")
+	}
+}
+
+func TestNewModeRejects(t *testing.T) {
+	if _, err := NewMode(5, 1, 0.5); err == nil {
+		t.Fatal("K=5 must be rejected")
+	}
+}
+
+func TestMustModePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustMode must panic on invalid input")
+		}
+	}()
+	MustMode(3, 1, 0.5)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	modes := []Mode{
+		{K: 2, M: 1, Region: 0.25}, {K: 2, M: 2, Region: 0.5},
+		{K: 4, M: 1, Region: 0.75}, {K: 4, M: 2, Region: 1}, {K: 4, M: 4, Region: 0.25},
+	}
+	for _, m := range modes {
+		bits, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", m, err)
+		}
+		got, err := Decode(bits)
+		if err != nil {
+			t.Fatalf("Decode(%#x): %v", bits, err)
+		}
+		if got != m {
+			t.Errorf("round trip %v -> %#x -> %v", m, bits, got)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	// lgK=3 (K=8) is out of the supported range.
+	if _, err := Decode(0b0000011); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestModeRegister(t *testing.T) {
+	r := NewModeRegister()
+	if r.Mode() != Off() {
+		t.Fatal("register must start disabled")
+	}
+	g0 := r.Generation()
+	m := MustMode(4, 4, 1)
+	if err := r.Set(m); err != nil {
+		t.Fatal(err)
+	}
+	if r.Mode() != m {
+		t.Fatal("Set must store the mode")
+	}
+	if r.Generation() != g0+1 {
+		t.Fatal("Set must bump the generation")
+	}
+	if err := r.Set(Mode{K: 3}); err == nil {
+		t.Fatal("invalid MRS must be rejected")
+	}
+	if r.Mode() != m {
+		t.Fatal("rejected MRS must not clobber the mode")
+	}
+}
+
+// Property: every valid mode round-trips through the MR3 encoding.
+func TestEncodeDecodeQuick(t *testing.T) {
+	ks := []int{2, 4}
+	regions := []float64{0.25, 0.5, 0.75, 1}
+	err := quick.Check(func(ki, mi, ri uint8) bool {
+		k := ks[int(ki)%len(ks)]
+		m := 1 << (int(mi) % (k/2 + 1)) // 1..K in powers of two
+		if m > k {
+			m = k
+		}
+		mode := Mode{K: k, M: m, Region: regions[int(ri)%len(regions)]}
+		bits, err := Encode(mode)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(bits)
+		return err == nil && got == mode
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Mode register handling: MCR-mode is programmed through an existing MRS
+// command using reserved mode-register bits (the paper points at A15-A3 of
+// MR3 in DDR3), so the mode can be changed dynamically at run time.
+
+package mcr
+
+import "fmt"
+
+// ModeRegister models the DRAM-side mode register that feeds the MCR
+// generator, including the encoding into the reserved MR3 bits.
+type ModeRegister struct {
+	mode       Mode
+	generation int // bumped on every successful MRS, for cache invalidation
+}
+
+// NewModeRegister returns a register holding the disabled mode.
+func NewModeRegister() *ModeRegister { return &ModeRegister{mode: Off()} }
+
+// Mode returns the currently programmed MCR-mode.
+func (r *ModeRegister) Mode() Mode { return r.mode }
+
+// Generation returns a counter that increments on every accepted MRS;
+// controllers use it to notice reconfigurations.
+func (r *ModeRegister) Generation() int { return r.generation }
+
+// Set programs a new MCR-mode (an MRS command). Any valid mode is accepted:
+// the DRAM itself has no memory-safety opinion — collision safety across
+// *tightening* changes is the controller/OS's job (see CapacityMapper).
+func (r *ModeRegister) Set(m Mode) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	r.mode = m
+	r.generation++
+	return nil
+}
+
+// Encode packs a mode into the reserved MR3 field the paper proposes:
+// bits [1:0] log2(K), bits [3:2] log2(K/M), bits [6:4] region in quarters.
+func Encode(m Mode) (uint16, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	lgK := uint16(m.LgK())
+	lgSkip := uint16(0)
+	for v := m.K / m.M; v > 1; v >>= 1 {
+		lgSkip++
+	}
+	quarters := uint16(m.Region*4 + 0.5)
+	return lgK | lgSkip<<2 | quarters<<4, nil
+}
+
+// Decode unpacks an Encode value back into a Mode.
+func Decode(bits uint16) (Mode, error) {
+	k := 1 << (bits & 3)
+	skip := 1 << (bits >> 2 & 3)
+	region := float64(bits>>4&7) / 4
+	m := Mode{K: k, M: k / skip, Region: region}
+	if err := m.Validate(); err != nil {
+		return Mode{}, fmt.Errorf("mcr: invalid encoded mode %#x: %w", bits, err)
+	}
+	return m, nil
+}

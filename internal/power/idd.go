@@ -1,0 +1,98 @@
+// IDD-based parameter derivation: instead of hand-picking event energies,
+// derive them from DDR3 datasheet currents the way Micron's TN-41-01
+// calculator does. This makes every constant in Params traceable to a
+// datasheet line item.
+
+package power
+
+import "fmt"
+
+// IDD holds the datasheet currents of one DRAM device (one chip), in
+// milliamps, plus the operating point. Names follow JEDEC:
+//
+//	IDD0  - one-bank activate-precharge current (tRC loop)
+//	IDD2N - precharge standby current
+//	IDD3N - active standby current
+//	IDD2P - precharge power-down current
+//	IDD4R - burst read current
+//	IDD4W - burst write current
+//	IDD5B - burst refresh current
+type IDD struct {
+	VDD   float64 // volts
+	Chips int     // devices per rank (x8 -> 8 chips)
+
+	IDD0, IDD2N, IDD3N, IDD2P, IDD4R, IDD4W, IDD5B float64 // mA per chip
+
+	// Timing context for the conversions (nanoseconds).
+	TRCNS    float64 // tRC the IDD0 loop assumes
+	TRFCNS   float64 // tRFC for the IDD5B burst
+	TBurstNS float64 // data burst duration (BL8 at DDR3-1600: 5 ns)
+}
+
+// DefaultIDD returns DDR3-1600 4 Gb x8 datasheet-magnitude currents.
+func DefaultIDD() IDD {
+	return IDD{
+		VDD:   1.5,
+		Chips: 8,
+		IDD0:  65, IDD2N: 32, IDD3N: 42, IDD2P: 12,
+		IDD4R: 150, IDD4W: 155, IDD5B: 200,
+		TRCNS: 48.75, TRFCNS: 260, TBurstNS: 5,
+	}
+}
+
+// Validate checks the current set.
+func (i IDD) Validate() error {
+	switch {
+	case i.VDD <= 0:
+		return fmt.Errorf("power: VDD must be positive, got %g", i.VDD)
+	case i.Chips <= 0:
+		return fmt.Errorf("power: Chips must be positive, got %d", i.Chips)
+	case i.IDD0 <= i.IDD3N:
+		return fmt.Errorf("power: IDD0 (%g) must exceed IDD3N (%g)", i.IDD0, i.IDD3N)
+	case i.IDD3N <= i.IDD2N || i.IDD2N <= i.IDD2P || i.IDD2P < 0:
+		return fmt.Errorf("power: standby currents must satisfy IDD3N > IDD2N > IDD2P >= 0")
+	case i.IDD4R <= i.IDD3N || i.IDD4W <= i.IDD3N:
+		return fmt.Errorf("power: burst currents must exceed active standby")
+	case i.IDD5B <= i.IDD2N:
+		return fmt.Errorf("power: IDD5B must exceed precharge standby")
+	case i.TRCNS <= 0 || i.TRFCNS <= 0 || i.TBurstNS <= 0:
+		return fmt.Errorf("power: IDD timing context must be positive")
+	}
+	return nil
+}
+
+// Derive converts datasheet currents into the event-energy Params the
+// model consumes, per the TN-41-01 decomposition:
+//
+//	E(ACT+PRE) = (IDD0 - IDD3N) * VDD * tRC * chips
+//	E(RD)      = (IDD4R - IDD3N) * VDD * tBurst * chips
+//	E(WR)      = (IDD4W - IDD3N) * VDD * tBurst * chips
+//	E(REF)     = (IDD5B - IDD2N) * VDD * tRFC * chips
+//	P(active/standby/power-down) = IDD3N/IDD2N/IDD2P * VDD * chips
+//
+// The MCR adjustment knobs (RestoreFrac, WordlineOverhead) keep their
+// defaults — they are architectural, not datasheet, quantities.
+func (i IDD) Derive() (Params, error) {
+	if err := i.Validate(); err != nil {
+		return Params{}, err
+	}
+	chips := float64(i.Chips)
+	// mA * V * ns = pJ; divide by 1000 for nJ.
+	toNJ := func(mA, ns float64) float64 { return mA * i.VDD * ns * chips / 1000 }
+	base := Default()
+	p := Params{
+		EActNJ:           toNJ(i.IDD0-i.IDD3N, i.TRCNS),
+		RestoreFrac:      base.RestoreFrac,
+		WordlineOverhead: base.WordlineOverhead,
+		EReadNJ:          toNJ(i.IDD4R-i.IDD3N, i.TBurstNS),
+		EWriteNJ:         toNJ(i.IDD4W-i.IDD3N, i.TBurstNS),
+		ERefreshNJ:       toNJ(i.IDD5B-i.IDD2N, i.TRFCNS),
+		PActiveMW:        i.IDD3N * i.VDD * chips,
+		PStandbyMW:       i.IDD2N * i.VDD * chips,
+		PPowerDownMW:     i.IDD2P * i.VDD * chips,
+	}
+	if err := p.Validate(); err != nil {
+		return Params{}, fmt.Errorf("power: derived parameters invalid: %w", err)
+	}
+	return p, nil
+}

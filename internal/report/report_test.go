@@ -1,0 +1,108 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/integrity"
+	"repro/internal/mcr"
+	"repro/internal/sim"
+)
+
+func runQuick(t *testing.T, mode mcr.Mode, check bool) (sim.Config, *sim.Result) {
+	t.Helper()
+	cfg := sim.DefaultConfig("ferret")
+	cfg.DRAM = dram.DefaultConfig(mode)
+	cfg.InstsPerCore = 60_000
+	if check {
+		ic := integrity.DefaultConfig()
+		cfg.Integrity = &ic
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg, res
+}
+
+func TestWriteReportSections(t *testing.T) {
+	cfg, res := runQuick(t, mcr.MustMode(4, 4, 1), true)
+	var buf bytes.Buffer
+	if err := Write(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"mode [4/4x/100%reg]",
+		"-- performance --",
+		"-- cores --",
+		"ferret",
+		"-- memory system --",
+		"row buffer",
+		"-- energy --",
+		"EDP",
+		"-- integrity --",
+		"retention-safe: yes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteReportBaseline(t *testing.T) {
+	cfg, res := runQuick(t, mcr.Off(), false)
+	var buf bytes.Buffer
+	if err := Write(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "conventional DRAM") {
+		t.Fatal("baseline must be labeled conventional")
+	}
+	if strings.Contains(out, "-- integrity --") {
+		t.Fatal("integrity section must be absent when the checker is off")
+	}
+}
+
+func TestCompareBlock(t *testing.T) {
+	_, base := runQuick(t, mcr.Off(), false)
+	_, variant := runQuick(t, mcr.MustMode(4, 4, 1), false)
+	var buf bytes.Buffer
+	if err := Compare(&buf, "mode [4/4x/100%reg]", base, variant); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"exec time reduction", "EDP reduction", "vs baseline"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("comparison missing %q", want)
+		}
+	}
+}
+
+func TestWriteReportCombinedLayout(t *testing.T) {
+	layout, err := mcr.NewLayout(
+		mcr.Band{K: 4, M: 4, Region: 0.25},
+		mcr.Band{K: 2, M: 2, Region: 0.25},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig("comm2")
+	cfg.DRAM = dram.DefaultConfig(mcr.Off())
+	cfg.DRAM.Layout = layout
+	cfg.InstsPerCore = 50_000
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "layout [4/4x/25%+2/2x/25%]") {
+		t.Fatal("combined layout must be named in the report")
+	}
+}

@@ -1,0 +1,99 @@
+// Latency distribution and per-core metrics collected alongside the main
+// counters.
+
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// LatencyHistogram is a fixed-bucket distribution of read latencies in
+// nanoseconds.
+type LatencyHistogram struct {
+	// BoundsNS are the inclusive upper bounds of each bucket; the final
+	// implicit bucket is overflow.
+	BoundsNS []float64
+	Counts   []int64
+	total    int64
+	sumNS    float64
+}
+
+// NewLatencyHistogram returns a histogram with DRAM-scale buckets.
+func NewLatencyHistogram() *LatencyHistogram {
+	bounds := []float64{20, 30, 40, 50, 60, 80, 100, 150, 200, 300, 500, 1000}
+	return &LatencyHistogram{BoundsNS: bounds, Counts: make([]int64, len(bounds)+1)}
+}
+
+// Observe records one read latency (in memory cycles).
+func (h *LatencyHistogram) Observe(memCycles int64) {
+	ns := core.MemCyclesToNS(memCycles)
+	h.total++
+	h.sumNS += ns
+	i := sort.SearchFloat64s(h.BoundsNS, ns)
+	h.Counts[i]++
+}
+
+// Total returns the number of observations.
+func (h *LatencyHistogram) Total() int64 { return h.total }
+
+// MeanNS returns the mean latency.
+func (h *LatencyHistogram) MeanNS() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sumNS / float64(h.total)
+}
+
+// Percentile returns an upper bound on the p-th percentile latency (the
+// bucket boundary containing it); p in (0, 100].
+func (h *LatencyHistogram) Percentile(p float64) float64 {
+	if h.total == 0 || p <= 0 {
+		return 0
+	}
+	target := int64(float64(h.total) * p / 100)
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.BoundsNS) {
+				return h.BoundsNS[i]
+			}
+			return h.BoundsNS[len(h.BoundsNS)-1] * 2 // overflow bucket
+		}
+	}
+	return h.BoundsNS[len(h.BoundsNS)-1] * 2
+}
+
+// String renders the histogram compactly.
+func (h *LatencyHistogram) String() string {
+	s := ""
+	prev := 0.0
+	for i, b := range h.BoundsNS {
+		if h.Counts[i] > 0 {
+			s += fmt.Sprintf("  %6.0f-%-6.0f %8d\n", prev, b, h.Counts[i])
+		}
+		prev = b
+	}
+	if over := h.Counts[len(h.Counts)-1]; over > 0 {
+		s += fmt.Sprintf("  %6.0f+%7s %8d\n", prev, "", over)
+	}
+	return s
+}
+
+// CoreStats summarizes one core's run.
+type CoreStats struct {
+	CoreID       int
+	Workload     string
+	Retired      int64
+	DoneAtCPU    int64
+	IPC          float64
+	ReadsIssued  int64
+	WritesIssued int64
+	FetchStalls  int64
+}

@@ -1,0 +1,363 @@
+// Package sim assembles the full system of paper Table 4 — trace-driven
+// cores, the FR-FCFS memory controller, the MCR-DRAM device and the power
+// model — and runs it to completion, reporting execution time, read
+// latency, energy and EDP.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dram"
+	"repro/internal/integrity"
+	"repro/internal/mcr"
+	"repro/internal/power"
+	"repro/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	DRAM  dram.Config
+	Ctrl  controller.Config
+	CPU   cpu.Config
+	Power power.Params
+
+	// Workloads holds one Table 5 workload name per core.
+	Workloads []string
+	// InstsPerCore is the instruction budget of each core.
+	InstsPerCore int64
+	// Seed makes runs deterministic; the same seed must be used for the
+	// baseline and the MCR run of a comparison.
+	Seed int64
+	// AllocRatio enables pseudo profile-based page allocation: the hottest
+	// AllocRatio fraction of each bank's touched rows moves into the MCR
+	// region. 0 disables allocation.
+	AllocRatio float64
+	// AllocRatio4/AllocRatio2 drive the combined-layout allocator when
+	// DRAM.Layout is enabled: the hottest AllocRatio4 fraction goes to the
+	// 4x band, the next AllocRatio2 fraction to the 2x band.
+	AllocRatio4, AllocRatio2 float64
+	// SharedFootprint makes all cores walk the same address-space slice
+	// (multithreaded workloads).
+	SharedFootprint bool
+	// PowerDownCycles is how many idle memory cycles a rank waits before
+	// entering the low-power state (0 disables power-down modelling).
+	PowerDownCycles int
+	// Integrity, when non-nil, attaches the retention-safety checker to
+	// the device; violations land in Result.Integrity.
+	Integrity *integrity.Config
+	// WarmupInsts, when positive, marks the first WarmupInsts retired
+	// instructions per core as warmup: the read-latency statistics only
+	// cover requests that arrive after every core has passed its warmup
+	// point (execution time still covers the whole run).
+	WarmupInsts int64
+}
+
+// DefaultConfig returns a single-core run of the given workload with MCR
+// disabled.
+func DefaultConfig(workload string) Config {
+	return Config{
+		DRAM:            dram.DefaultConfig(mcr.Off()),
+		Ctrl:            controller.DefaultConfig(),
+		CPU:             cpu.DefaultConfig(),
+		Power:           power.Default(),
+		Workloads:       []string{workload},
+		InstsPerCore:    2_000_000,
+		Seed:            1,
+		PowerDownCycles: 64,
+	}
+}
+
+// Result summarizes one run.
+type Result struct {
+	Workloads []string
+
+	ExecCPUCycles    int64 // cycle the last core retired its last instruction
+	ReadCount        int64
+	AvgReadLatencyNS float64 // arrival to data completion
+	IPC              float64 // aggregate instructions per CPU cycle
+
+	Energy power.Breakdown
+	EDPNJs float64 // energy-delay product (nJ*s)
+
+	MCRRequestFraction float64 // fraction of column reads served by MCR rows
+	Dev                dram.Stats
+	Ctrl               controller.Stats
+
+	// Latency is the read-latency distribution; Cores holds per-core
+	// summaries (in Workloads order).
+	Latency *LatencyHistogram
+	Cores   []CoreStats
+
+	// Integrity holds retention violations when Config.Integrity was set
+	// (empty = schedule verified safe).
+	Integrity []integrity.Violation
+}
+
+// Run executes the simulation to completion.
+func Run(cfg Config) (*Result, error) {
+	if len(cfg.Workloads) == 0 {
+		return nil, fmt.Errorf("sim: at least one workload required")
+	}
+	if cfg.InstsPerCore <= 0 {
+		return nil, fmt.Errorf("sim: InstsPerCore must be positive, got %d", cfg.InstsPerCore)
+	}
+	dev, err := dram.New(cfg.DRAM)
+	if err != nil {
+		return nil, err
+	}
+
+	rows, err := buildAllocation(cfg, dev)
+	if err != nil {
+		return nil, err
+	}
+	var checker *integrity.DeviceAdapter
+	if cfg.Integrity != nil {
+		checker, err = integrity.Attach(dev, *cfg.Integrity)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctrl, err := controller.New(cfg.Ctrl, dev, rows)
+	if err != nil {
+		return nil, err
+	}
+
+	cores := make([]*cpu.Core, len(cfg.Workloads))
+	for i, name := range cfg.Workloads {
+		w, err := trace.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		gen, err := trace.New(w, coreSeed(cfg.Seed, i), cfg.InstsPerCore, coreBaseRow(cfg, dev.Config().Geom, i))
+		if err != nil {
+			return nil, err
+		}
+		cores[i], err = cpu.New(cfg.CPU, i, gen, ctrl, cfg.InstsPerCore)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return runLoop(cfg, dev, ctrl, cores, checker)
+}
+
+// coreSeed derives a per-core deterministic seed.
+func coreSeed(seed int64, coreID int) int64 {
+	return seed*1_000_003 + int64(coreID)*7_919
+}
+
+// coreBaseRow carves the physical row space (in trace row numbers) into
+// per-core slices, or shares slice 0 for multithreaded workloads.
+func coreBaseRow(cfg Config, geom core.Geometry, coreID int) int64 {
+	if cfg.SharedFootprint {
+		return 0
+	}
+	totalRows := geom.TotalRows()
+	return int64(coreID) * (totalRows / int64(len(cfg.Workloads)))
+}
+
+// buildAllocation runs the profiling pass and builds the row map.
+func buildAllocation(cfg Config, dev *dram.Device) (*alloc.RowMap, error) {
+	geom := dev.Config().Geom
+	layout := dev.Config().EffectiveLayout()
+	wantLayoutAlloc := dev.Config().Layout.Enabled() && (cfg.AllocRatio4 > 0 || cfg.AllocRatio2 > 0)
+	if (cfg.AllocRatio == 0 && !wantLayoutAlloc) || !layout.Enabled() {
+		return alloc.Identity(geom), nil
+	}
+	mapper, err := controller.NewAddressMapper(geom, cfg.Ctrl.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[int]map[int]int64)
+	for i, name := range cfg.Workloads {
+		w, err := trace.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		prof, err := trace.Profile(w, coreSeed(cfg.Seed, i), cfg.InstsPerCore, coreBaseRow(cfg, geom, i))
+		if err != nil {
+			return nil, err
+		}
+		for traceRow, n := range prof {
+			a := mapper.Decode(traceRow * trace.LinesPerRow)
+			bid := a.BankID(geom)
+			if counts[bid] == nil {
+				counts[bid] = make(map[int]int64)
+			}
+			counts[bid][a.Row] += n
+		}
+	}
+	if wantLayoutAlloc {
+		return alloc.ProfileBasedLayout(geom, dev.LayoutGenerator(), counts, cfg.AllocRatio4, cfg.AllocRatio2)
+	}
+	return alloc.ProfileBased(geom, dev.Generator(), counts, cfg.AllocRatio)
+}
+
+// completionQueue orders controller completions by due cycle.
+type completionQueue []controller.Completion
+
+func (q completionQueue) Len() int           { return len(q) }
+func (q completionQueue) Less(i, j int) bool { return q[i].DoneAt < q[j].DoneAt }
+func (q completionQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *completionQueue) Push(x any)        { *q = append(*q, x.(controller.Completion)) }
+func (q *completionQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// runLoop is the main cycle loop: 4 CPU cycles then 1 controller cycle per
+// memory cycle, with rank-state power accounting.
+func runLoop(cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []*cpu.Core, checker *integrity.DeviceAdapter) (*Result, error) {
+	geom := dev.Config().Geom
+	nRanks := geom.Channels * geom.Ranks
+	idleStreak := make([]int, nRanks)
+	var activeCyc, standbyCyc, pdCyc int64
+	var pending completionQueue
+	var totalReadLatency int64
+	var reads int64
+	hist := NewLatencyHistogram()
+	// Warmup handling: read stats start counting once every core retired
+	// its warmup budget; warmStart records the memory cycle that happened.
+	warmStart := int64(0)
+	warmed := cfg.WarmupInsts <= 0
+
+	cpuCycle := int64(0)
+	const safetyCap = int64(4) << 32 // runaway guard
+	var mem int64
+	for mem = 0; ; mem++ {
+		if mem > safetyCap {
+			return nil, fmt.Errorf("sim: exceeded %d memory cycles without finishing", safetyCap)
+		}
+		// Deliver due read completions before the cores run.
+		for len(pending) > 0 && pending[0].DoneAt <= mem {
+			comp := heap.Pop(&pending).(controller.Completion)
+			cores[comp.CoreID].Complete(comp.ID)
+		}
+		allDone := true
+		for _, c := range cores {
+			if !c.Done() {
+				allDone = false
+			}
+		}
+		if allDone {
+			r, w := ctrl.Pending()
+			if r == 0 && w == 0 && len(pending) == 0 {
+				break
+			}
+		}
+		for i := 0; i < core.CPUCyclesPerMemCycle; i++ {
+			for _, c := range cores {
+				c.Cycle(cpuCycle, mem)
+			}
+			cpuCycle++
+		}
+		ctrl.Tick(mem)
+		if !warmed {
+			warmed = true
+			for _, c := range cores {
+				if c.Retired() < cfg.WarmupInsts {
+					warmed = false
+					break
+				}
+			}
+			if warmed {
+				warmStart = mem
+			}
+		}
+		for _, comp := range ctrl.DrainCompletions() {
+			if warmed && comp.ArriveAt >= warmStart {
+				reads++
+				totalReadLatency += comp.DoneAt - comp.ArriveAt
+				hist.Observe(comp.DoneAt - comp.ArriveAt)
+			}
+			if comp.DoneAt <= mem {
+				cores[comp.CoreID].Complete(comp.ID)
+			} else {
+				heap.Push(&pending, comp)
+			}
+		}
+		// Background power accounting per rank.
+		for ch := 0; ch < geom.Channels; ch++ {
+			for r := 0; r < geom.Ranks; r++ {
+				idx := ch*geom.Ranks + r
+				switch {
+				case dev.RankBusy(ch, r, mem):
+					idleStreak[idx] = 0
+					activeCyc++
+				case cfg.PowerDownCycles > 0 && idleStreak[idx] >= cfg.PowerDownCycles:
+					pdCyc++
+				default:
+					idleStreak[idx]++
+					standbyCyc++
+				}
+			}
+		}
+	}
+
+	res := &Result{Workloads: cfg.Workloads, ReadCount: reads, Latency: hist}
+	if checker != nil {
+		checker.Finish(mem)
+		// Non-nil even when clean, so consumers can tell "verified safe"
+		// from "checker not attached".
+		res.Integrity = append([]integrity.Violation{}, checker.Violations()...)
+	}
+	for i, c := range cores {
+		if c.DoneAt() > res.ExecCPUCycles {
+			res.ExecCPUCycles = c.DoneAt()
+		}
+		cs := CoreStats{
+			CoreID:       i,
+			Workload:     cfg.Workloads[i],
+			Retired:      c.Retired(),
+			DoneAtCPU:    c.DoneAt(),
+			ReadsIssued:  c.ReadsIssued,
+			WritesIssued: c.WritesIssued,
+			FetchStalls:  c.FetchStalls,
+		}
+		if cs.DoneAtCPU > 0 {
+			cs.IPC = float64(cs.Retired) / float64(cs.DoneAtCPU)
+		}
+		res.Cores = append(res.Cores, cs)
+	}
+	if res.ExecCPUCycles == 0 {
+		res.ExecCPUCycles = cpuCycle
+	}
+	if reads > 0 {
+		res.AvgReadLatencyNS = core.MemCyclesToNS(totalReadLatency) / float64(reads)
+	}
+	res.IPC = float64(cfg.InstsPerCore) * float64(len(cores)) / float64(res.ExecCPUCycles)
+
+	res.Dev = dev.Stats()
+	res.Ctrl = ctrl.Stats()
+	if res.Ctrl.ReadsDone > 0 {
+		res.MCRRequestFraction = float64(res.Ctrl.MCRReads) / float64(res.Ctrl.ReadsDone)
+	}
+
+	tim := dev.Timings()
+	usage := power.Usage{
+		NormalActs:       res.Dev.Activates - res.Dev.MCRActivates,
+		MCRActs:          res.Dev.MCRActivates,
+		Reads:            res.Dev.Reads,
+		Writes:           res.Dev.Writes,
+		NormalRefs:       res.Dev.Refreshes - res.Dev.MCRRefreshes,
+		MCRRefs:          res.Dev.MCRRefreshes,
+		MCRRows:          dev.Config().EffectiveLayout().MaxK(),
+		MCRTRASRatio:     float64(tim.MCR.TRAS) / float64(tim.Normal.TRAS),
+		MCRTRFCRatio:     float64(tim.RefreshMCRCycles) / float64(tim.Normal.TRFC),
+		ElapsedMemCycles: mem,
+		ActiveCycles:     activeCyc,
+		StandbyCycles:    standbyCyc,
+		PowerDownCycles:  pdCyc,
+	}
+	res.Energy = cfg.Power.Energy(usage)
+	res.EDPNJs = power.EDP(res.Energy.TotalNJ(), mem)
+	return res, nil
+}

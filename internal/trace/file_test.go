@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	w, _ := ByName("comm3")
+	g, err := New(w, 5, 40_000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := WriteAll(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no records written")
+	}
+	got, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("read %d records, wrote %d", len(got), n)
+	}
+	// Byte-identical to a fresh generation.
+	fresh, _ := New(w, 5, 40_000, 100)
+	for i := range got {
+		want, ok := fresh.Next()
+		if !ok {
+			t.Fatalf("fresh stream ended early at %d", i)
+		}
+		if got[i] != want {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], want)
+		}
+	}
+}
+
+func TestReplayerMirrorsGenerator(t *testing.T) {
+	w, _ := ByName("libq")
+	g, _ := New(w, 9, 20_000, 0)
+	var buf bytes.Buffer
+	if _, err := WriteAll(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ReadRecords(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := NewReplayer(recs)
+	if rep.Len() != len(recs) {
+		t.Fatal("length wrong")
+	}
+	count := 0
+	for {
+		if _, ok := rep.Next(); !ok {
+			break
+		}
+		count++
+	}
+	if count != len(recs) {
+		t.Fatalf("replayed %d of %d", count, len(recs))
+	}
+	rep.Reset()
+	if _, ok := rep.Next(); !ok {
+		t.Fatal("reset must rewind")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		append([]byte("NOTMAGIC"), make([]byte, 8)...),
+	}
+	for i, c := range cases {
+		if _, err := ReadRecords(bytes.NewReader(c)); !errors.Is(err, ErrBadTrace) {
+			t.Errorf("case %d: want ErrBadTrace, got %v", i, err)
+		}
+	}
+	// Bad version.
+	var buf bytes.Buffer
+	if err := WriteRecords(&buf, []Record{{Gap: 1, Line: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	b[8] = 99
+	if _, err := ReadRecords(bytes.NewReader(b)); !errors.Is(err, ErrBadTrace) {
+		t.Fatal("bad version must be rejected")
+	}
+	// Truncated body.
+	buf.Reset()
+	if err := WriteRecords(&buf, []Record{{Gap: 1, Line: 2}, {Gap: 3, Line: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-1]
+	if _, err := ReadRecords(bytes.NewReader(trunc)); !errors.Is(err, ErrBadTrace) {
+		t.Fatal("truncated body must be rejected")
+	}
+}
+
+func TestFileCompactness(t *testing.T) {
+	w, _ := ByName("stream")
+	g, _ := New(w, 2, 100_000, 0)
+	var buf bytes.Buffer
+	n, err := WriteAll(&buf, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Varint-delta packing should stay well under 16 bytes per record.
+	if perRec := float64(buf.Len()) / float64(n); perRec > 10 {
+		t.Fatalf("%.1f bytes per record; the delta encoding is not working", perRec)
+	}
+}
