@@ -225,6 +225,32 @@ func BenchmarkAblationLeakMargin(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepParallel races the run-plan executor's worker pool
+// against serial execution on a Quick-sized Fig 11 sweep. The pooled
+// variant uses one worker per GOMAXPROCS; on a single-CPU host the two
+// coincide and the delta is the pool's bookkeeping overhead.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		jobs int
+	}{
+		{"serial", 1},
+		{"pooled", 0}, // 0 = GOMAXPROCS workers
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := benchOpts()
+				o.Jobs = c.jobs
+				s, err := experiments.Fig11(o, benchSubset)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportSweep(b, s, "[4/4x] ratio 1.00", "4/4x@1.0")
+			}
+		})
+	}
+}
+
 // BenchmarkTLDRAMComparison races MCR-DRAM against the TL-DRAM-like
 // related-work baseline (paper Sec. 7) at matched fast-region size.
 func BenchmarkTLDRAMComparison(b *testing.B) {

@@ -5,23 +5,77 @@
 //
 //	mcrsim -workload tigr -k 4 -m 4 -region 1.0 -insts 2000000
 //	mcrsim -workload comm2,leslie,black,mummer -multicore -k 2 -m 2 -region 0.5 -alloc 0.1
+//	mcrsim -workload tigr -k 4 -compare          # baseline vs MCR, pooled
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/experiments"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
 	"repro/internal/report"
+	"repro/internal/runplan"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// parseMode validates the -k/-m/-region flags with explicit choice lists
+// instead of silent fallthrough.
+func parseMode(k, m int, region float64) (mcr.Mode, error) {
+	switch k {
+	case 1:
+		if m != 0 && m != 1 {
+			return mcr.Mode{}, fmt.Errorf("-m %d needs an MCR mode; -k 1 disables MCR (valid -k: 1, 2, 4)", m)
+		}
+		return mcr.Off(), nil
+	case 2, 4:
+	default:
+		return mcr.Mode{}, fmt.Errorf("invalid -k %d (valid: 1 = off, 2, 4)", k)
+	}
+	if m == 0 {
+		m = k
+	}
+	mode, err := mcr.NewMode(k, m, region)
+	if err != nil {
+		return mcr.Mode{}, fmt.Errorf("%w (valid -m: powers of two with 1 <= m <= k; valid -region: 0.25, 0.5, 0.75, 1)", err)
+	}
+	return mode, nil
+}
+
+// parseWiring validates the -wiring flag.
+func parseWiring(s string) (mcr.Wiring, error) {
+	switch s {
+	case "n1k":
+		return mcr.KtoN1K, nil
+	case "ktok":
+		return mcr.KtoK, nil
+	}
+	return 0, fmt.Errorf("unknown wiring %q (valid: n1k, ktok)", s)
+}
+
+// validateWorkloads checks every name against the Table 5 catalogue and
+// lists the catalogue on failure.
+func validateWorkloads(names []string) error {
+	var valid []string
+	for _, w := range trace.Workloads() {
+		valid = append(valid, w.Name)
+	}
+	for _, n := range names {
+		if _, err := trace.ByName(n); err != nil {
+			return fmt.Errorf("unknown workload %q (valid: %s)", n, strings.Join(valid, ", "))
+		}
+	}
+	return nil
+}
 
 func main() {
 	var (
@@ -43,6 +97,9 @@ func main() {
 		alloc4    = flag.Float64("alloc4", 0.05, "combined layout: hottest fraction into the 4x band")
 		alloc2    = flag.Float64("alloc2", 0.15, "combined layout: next fraction into the 2x band")
 		check     = flag.Bool("check", false, "attach the retention-integrity checker")
+		compare   = flag.Bool("compare", false, "also run the MCR-off baseline (pooled) and print the comparison")
+		jobs      = flag.Int("jobs", 0, "-compare simulations in flight (0 = GOMAXPROCS)")
+		verbose   = flag.Bool("v", false, "print per-simulation progress with throughput stats")
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		histogram = flag.Bool("hist", false, "print the read-latency histogram")
 		full      = flag.Bool("report", false, "print the full run report instead of the summary")
@@ -57,17 +114,15 @@ func main() {
 	}
 
 	names := strings.Split(*workloads, ",")
-	mode := mcr.Off()
-	if *k > 1 {
-		mm := *m
-		if mm == 0 {
-			mm = *k
-		}
-		var err error
-		mode, err = mcr.NewMode(*k, mm, *region)
-		if err != nil {
-			fatal(err)
-		}
+	if err := validateWorkloads(names); err != nil {
+		fatal(err)
+	}
+	mode, err := parseMode(*k, *m, *region)
+	if err != nil {
+		fatal(err)
+	}
+	if *insts <= 0 {
+		fatal(fmt.Errorf("-insts must be positive, got %d", *insts))
 	}
 
 	cfg := sim.DefaultConfig(names[0])
@@ -102,16 +157,22 @@ func main() {
 		FastRefresh:     !*noFR,
 		RefreshSkipping: !*noRS,
 	}
-	switch *wiring {
-	case "n1k":
-		cfg.DRAM.Wiring = mcr.KtoN1K
-	case "ktok":
-		cfg.DRAM.Wiring = mcr.KtoK
-	default:
-		fatal(fmt.Errorf("unknown wiring %q", *wiring))
+	cfg.DRAM.Wiring, err = parseWiring(*wiring)
+	if err != nil {
+		fatal(err)
 	}
 
-	res, err := sim.Run(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *compare {
+		if err := runCompare(ctx, cfg, mode, *jobs, *verbose); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		fatal(err)
 	}
@@ -143,6 +204,10 @@ func main() {
 	fmt.Printf("energy            : %.1f µJ (act %.1f, rd/wr %.1f, ref %.1f, bg %.1f)\n",
 		res.Energy.TotalNJ()/1e3, res.Energy.ActivateNJ/1e3, res.Energy.ReadWriteNJ/1e3, res.Energy.RefreshNJ/1e3, res.Energy.BackgroundNJ/1e3)
 	fmt.Printf("EDP               : %.3f nJ·s\n", res.EDPNJs)
+	fmt.Printf("sim throughput    : %.2f Mcyc/s, %.2f Minst/s (%.0f ms wall)\n",
+		float64(res.MemCycles)/res.Wall.Seconds()/1e6,
+		float64(res.RetiredInsts)/res.Wall.Seconds()/1e6,
+		float64(res.Wall.Microseconds())/1e3)
 	if *check {
 		if len(res.Integrity) == 0 {
 			fmt.Println("integrity         : OK (no retention violations)")
@@ -155,6 +220,23 @@ func main() {
 			res.Latency.Percentile(50), res.Latency.Percentile(95), res.Latency.Percentile(99))
 		fmt.Print(res.Latency)
 	}
+}
+
+// runCompare runs the configured variant and its MCR-off baseline through
+// the pooled executor and prints the comparison block.
+func runCompare(ctx context.Context, cfg sim.Config, mode mcr.Mode, jobs int, verbose bool) error {
+	plan := &runplan.Plan{Name: "mcrsim"}
+	plan.AddPair(strings.Join(cfg.Workloads, "+"), mode.String(), cfg, experiments.BaselineOf(cfg))
+	ex := runplan.Executor{Jobs: jobs}
+	if verbose {
+		ex.Sink = runplan.LineSink(os.Stderr)
+	}
+	results, err := ex.Execute(ctx, plan)
+	if err != nil {
+		return err
+	}
+	r := results[0]
+	return report.Compare(os.Stdout, mode.String(), r.Base, r.Run)
 }
 
 func fatal(err error) {

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mcr"
+)
+
+func TestParseModeValid(t *testing.T) {
+	if m, err := parseMode(1, 0, 1.0); err != nil || m.Enabled() {
+		t.Fatalf("k=1 must disable MCR: %v %v", m, err)
+	}
+	m, err := parseMode(4, 0, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != mcr.MustMode(4, 4, 0.5) {
+		t.Fatalf("m must default to k, got %v", m)
+	}
+	if _, err := parseMode(2, 1, 0.25); err != nil {
+		t.Fatalf("2/1x rejected: %v", err)
+	}
+}
+
+func TestParseModeInvalid(t *testing.T) {
+	cases := []struct {
+		k, m   int
+		region float64
+		want   string // substring the error must carry
+	}{
+		{3, 0, 1.0, "valid: 1 = off, 2, 4"},
+		{8, 0, 1.0, "valid: 1 = off, 2, 4"},
+		{1, 2, 1.0, "-k 1 disables MCR"},
+		{4, 3, 1.0, "valid -m"},
+		{4, 8, 1.0, "valid -m"},
+		{4, 4, 0.3, "valid -region"},
+	}
+	for _, c := range cases {
+		_, err := parseMode(c.k, c.m, c.region)
+		if err == nil {
+			t.Errorf("k=%d m=%d region=%g accepted", c.k, c.m, c.region)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("k=%d m=%d region=%g: error %q must contain %q", c.k, c.m, c.region, err, c.want)
+		}
+	}
+}
+
+func TestParseWiring(t *testing.T) {
+	if w, err := parseWiring("n1k"); err != nil || w != mcr.KtoN1K {
+		t.Fatalf("n1k: %v %v", w, err)
+	}
+	if w, err := parseWiring("ktok"); err != nil || w != mcr.KtoK {
+		t.Fatalf("ktok: %v %v", w, err)
+	}
+	_, err := parseWiring("diagonal")
+	if err == nil {
+		t.Fatal("bad wiring accepted")
+	}
+	if !strings.Contains(err.Error(), "n1k") || !strings.Contains(err.Error(), "ktok") {
+		t.Errorf("error must list the valid wirings: %v", err)
+	}
+}
+
+func TestValidateWorkloads(t *testing.T) {
+	if err := validateWorkloads([]string{"tigr", "comm2"}); err != nil {
+		t.Fatalf("catalogue workloads rejected: %v", err)
+	}
+	err := validateWorkloads([]string{"tigr", "nosuch"})
+	if err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	if !strings.Contains(err.Error(), "nosuch") || !strings.Contains(err.Error(), "tigr") {
+		t.Errorf("error must name the input and list the catalogue: %v", err)
+	}
+}

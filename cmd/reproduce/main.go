@@ -4,18 +4,71 @@
 //
 //	reproduce -fig 11              # one figure (8, 10..18) or table (3)
 //	reproduce -all                 # everything
+//	reproduce -all -jobs 8         # pooled execution, 8 simulations in flight
 //	reproduce -fig 11 -insts 2000000 -metric readlat
+//
+// Sweeps run through the internal/runplan executor: independent cells
+// execute on a bounded worker pool (-jobs, default GOMAXPROCS) with the
+// per-workload baselines memoized, and Ctrl-C cancels in-flight
+// simulations cleanly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/mcr"
+	"repro/internal/runplan"
 	"repro/internal/trace"
 )
+
+// validFigs are the reproducible figure/table numbers.
+var validFigs = []int{3, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+
+// validMetrics are the sweep metrics WriteSweep understands.
+var validMetrics = []string{"exec", "readlat", "edp"}
+
+// validExtras are the beyond-the-paper studies.
+var validExtras = []string{"combined", "tldram", "wiring", "scheduler", "rowpolicy", "repeat"}
+
+// validateMetric rejects unknown -metric values with the valid choices.
+func validateMetric(m string) error {
+	for _, v := range validMetrics {
+		if m == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown metric %q (valid: %s)", m, strings.Join(validMetrics, ", "))
+}
+
+// validateFig rejects unknown -fig values with the valid choices.
+func validateFig(fig int) error {
+	for _, v := range validFigs {
+		if fig == v {
+			return nil
+		}
+	}
+	var opts []string
+	for _, v := range validFigs {
+		opts = append(opts, fmt.Sprint(v))
+	}
+	return fmt.Errorf("unknown figure/table %d (valid: %s)", fig, strings.Join(opts, ", "))
+}
+
+// validateExtra rejects unknown -extra values with the valid choices.
+func validateExtra(name string) error {
+	for _, v := range validExtras {
+		if name == v {
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown extra study %q (valid: %s)", name, strings.Join(validExtras, ", "))
+}
 
 func main() {
 	var (
@@ -25,39 +78,56 @@ func main() {
 		insts   = flag.Int64("insts", 0, "instructions per core (0 = default)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		seeds   = flag.Int("seeds", 5, "seeds for -extra repeat")
+		jobs    = flag.Int("jobs", 0, "simulations in flight (0 = GOMAXPROCS, 1 = serial)")
 		metric  = flag.String("metric", "exec", "sweep metric: exec, readlat or edp")
-		verbose = flag.Bool("v", false, "print per-simulation progress")
+		verbose = flag.Bool("v", false, "print per-simulation progress with throughput stats")
 	)
 	flag.Parse()
 
-	opt := experiments.Options{Insts: *insts, Seed: *seed}
+	if err := validateMetric(*metric); err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	opt := experiments.Options{Insts: *insts, Seed: *seed, Jobs: *jobs, Context: ctx}
 	if *verbose {
-		opt.Progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		opt.Progress = runplan.LineSink(os.Stderr)
 	}
 
 	if *extra != "" {
+		if err := validateExtra(*extra); err != nil {
+			fatal(err)
+		}
 		if err := runExtra(*extra, opt, *metric, *seeds); err != nil {
-			fmt.Fprintf(os.Stderr, "reproduce: extra %s: %v\n", *extra, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("extra %s: %w", *extra, err))
 		}
 		return
 	}
 
-	figs := []int{3, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+	figs := validFigs
 	if !*all {
 		if *fig == 0 {
 			fmt.Fprintln(os.Stderr, "reproduce: pass -fig N, -extra NAME or -all")
 			os.Exit(2)
 		}
+		if err := validateFig(*fig); err != nil {
+			fatal(err)
+		}
 		figs = []int{*fig}
 	}
 	for _, f := range figs {
 		if err := run(f, opt, *metric); err != nil {
-			fmt.Fprintf(os.Stderr, "reproduce: fig %d: %v\n", f, err)
-			os.Exit(1)
+			fatal(fmt.Errorf("fig %d: %w", f, err))
 		}
 		fmt.Println()
 	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "reproduce:", err)
+	os.Exit(1)
 }
 
 func run(fig int, opt experiments.Options, metric string) error {

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/controller"
@@ -15,19 +16,29 @@ import (
 	"repro/internal/dram"
 	"repro/internal/mcr"
 	"repro/internal/power"
+	"repro/internal/runplan"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// Options controls the fidelity of the sweeps.
+// Options controls the fidelity and execution of the sweeps.
 type Options struct {
 	// Insts is the per-core instruction budget (0 selects the default:
 	// 1M single-core, 500k per core multi-core).
 	Insts int64
 	// Seed feeds every simulation; baseline and MCR runs share it.
 	Seed int64
-	// Progress, when non-nil, receives one line per finished simulation.
-	Progress func(string)
+	// Jobs bounds the executor's worker pool: 0 selects GOMAXPROCS,
+	// 1 forces serial execution. Results are deterministic either way.
+	Jobs int
+	// Progress, when non-nil, receives one instrumented event per
+	// finished simulation (wall time, simulated cycles/sec, retired
+	// insts/sec, pending queue). The executor serializes calls, so the
+	// sink needs no locking; use runplan.LineSink for plain text.
+	Progress runplan.Sink
+	// Context, when non-nil, cancels in-flight simulations (Ctrl-C,
+	// test timeouts); nil means context.Background().
+	Context context.Context
 	// MaxMixes, when positive, truncates the multi-core workload list to
 	// its first MaxMixes entries (benchmarks and CI use this).
 	MaxMixes int
@@ -44,14 +55,30 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) progress(format string, args ...any) {
-	if o.Progress != nil {
-		o.Progress(fmt.Sprintf(format, args...))
-	}
-}
-
 // Quick returns options sized for benchmarks and CI.
 func Quick() Options { return Options{Insts: 150_000, Seed: 1} }
+
+// execute runs a plan through the pooled executor configured by the
+// options and returns results in spec order.
+func (o Options) execute(plan *runplan.Plan) ([]runplan.Result, error) {
+	ex := runplan.Executor{Jobs: o.Jobs, Sink: o.Progress}
+	return ex.Execute(o.Context, plan)
+}
+
+// runSweep executes a plan and folds its results into a Sweep: one point
+// per spec, each reduced against its (memoized) baseline.
+func (o Options) runSweep(plan *runplan.Plan) (*Sweep, error) {
+	results, err := o.execute(plan)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sweep{Figure: plan.Name}
+	for _, r := range results {
+		s.Points = append(s.Points, SweepPoint{Workload: r.Workload, Config: r.Config, Reduction: reduce(r.Base, r.Run)})
+	}
+	s.averageByConfig()
+	return s, nil
+}
 
 // baseConfig assembles the shared simulation configuration.
 func baseConfig(o Options, multicore bool, workloads []string, mode mcr.Mode, mech dram.Mechanisms, allocRatio float64, shared bool) sim.Config {
@@ -82,8 +109,12 @@ type Reduction struct {
 	EDP         float64
 }
 
-// reduce compares two results.
+// reduce compares two results. Either side may be nil (a plan spec
+// without a baseline); the reduction is then zero.
 func reduce(base, m *sim.Result) Reduction {
+	if base == nil || m == nil {
+		return Reduction{}
+	}
 	pct := func(b, v float64) float64 {
 		if b == 0 {
 			return 0
@@ -112,21 +143,20 @@ func mean(rs []Reduction) Reduction {
 	return Reduction{ExecTime: sum.ExecTime / n, ReadLatency: sum.ReadLatency / n, EDP: sum.EDP / n}
 }
 
-// runPair runs baseline (MCR off, same seed) and variant configurations.
-func runPair(o Options, variant sim.Config) (base, v *sim.Result, err error) {
-	baseCfg := variant
-	baseCfg.DRAM.Mode = mcr.Off()
-	baseCfg.DRAM.Mech = dram.Mechanisms{}
-	baseCfg.AllocRatio = 0
-	base, err = sim.Run(baseCfg)
-	if err != nil {
-		return nil, nil, err
-	}
-	v, err = sim.Run(variant)
-	if err != nil {
-		return nil, nil, err
-	}
-	return base, v, nil
+// BaselineOf derives the MCR-off comparison configuration of a variant:
+// same workloads, seed and geometry, MCR and its mechanisms disabled.
+// Plans built from one variant set per workload therefore share one
+// memoized baseline per workload.
+func BaselineOf(variant sim.Config) sim.Config {
+	base := variant
+	base.DRAM.Mode = mcr.Off()
+	base.DRAM.Layout = mcr.Layout{}
+	base.DRAM.TL = nil
+	base.DRAM.NUAT = nil
+	base.DRAM.Mech = dram.Mechanisms{}
+	base.AllocRatio = 0
+	base.AllocRatio4, base.AllocRatio2 = 0, 0
+	return base
 }
 
 // MultiCoreMixes returns the paper's 16 quad-core workloads: 14

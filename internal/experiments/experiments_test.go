@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/runplan"
 )
 
 // fastOpts keeps CI runtime sane; the figure engines are exercised on a
@@ -206,15 +208,32 @@ func TestWriteSweepRendering(t *testing.T) {
 	}
 }
 
-func TestProgressCallback(t *testing.T) {
-	var lines []string
+func TestProgressSink(t *testing.T) {
+	var events []runplan.Event // no locking: executor serializes sink calls
 	o := fastOpts()
-	o.Progress = func(s string) { lines = append(lines, s) }
+	o.Jobs = 4
+	o.Progress = runplan.SinkFunc(func(e runplan.Event) { events = append(events, e) })
 	if _, err := Fig18(o, false, []string{"black"}); err != nil {
 		t.Fatal(err)
 	}
-	if len(lines) == 0 {
-		t.Fatal("progress callback never fired")
+	// 3 variants + 1 memoized baseline.
+	if len(events) != 4 {
+		t.Fatalf("%d events, want 4", len(events))
+	}
+	var baselines int
+	for _, e := range events {
+		if e.Kind == runplan.KindBaseline {
+			baselines++
+		}
+		if e.Stats.Wall <= 0 || e.Stats.MemCycles <= 0 || e.Stats.Retired <= 0 {
+			t.Fatalf("event missing instrumentation: %+v", e)
+		}
+		if e.Total != 4 || e.Done < 1 || e.Done > 4 || e.Pending != e.Total-e.Done {
+			t.Fatalf("event accounting wrong: %+v", e)
+		}
+	}
+	if baselines != 1 {
+		t.Fatalf("baseline simulated %d times, want exactly 1", baselines)
 	}
 }
 

@@ -1,5 +1,6 @@
 // Fig 17 (mechanism ablation) and Fig 18 (EDP), plus the design-choice
-// ablations DESIGN.md calls out (wiring, scheduler, row policy).
+// ablations DESIGN.md calls out (wiring, scheduler, row policy). All are
+// declared as run plans and executed by the pooled executor.
 
 package experiments
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/dram"
 	"repro/internal/mcr"
+	"repro/internal/runplan"
 	"repro/internal/sim"
 )
 
@@ -32,36 +34,28 @@ func MechanismCases() []MechanismCase {
 	}
 }
 
+// figSets picks the single-core or quad-core workload sets.
+func figSets(o Options, multicore bool, workloads []string) ([][]string, []string) {
+	if multicore {
+		return multiWorkloadSets(o)
+	}
+	return singleWorkloadSets(workloads)
+}
+
 // Fig17 regenerates the mechanism ablation for the single-core workloads
 // (multicore=false) or the quad-core mixes (multicore=true).
 func Fig17(o Options, multicore bool, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
-	var sets [][]string
-	var names []string
-	if multicore {
-		sets, names = multiWorkloadSets(o)
-	} else {
-		sets, names = singleWorkloadSets(workloads)
-	}
-	s := &Sweep{Figure: "fig17"}
+	sets, names := figSets(o, multicore, workloads)
+	plan := &runplan.Plan{Name: "fig17"}
 	for wi, wl := range sets {
-		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
-		base, err := sim.Run(baseCfg)
-		if err != nil {
-			return nil, err
-		}
+		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
 		for _, mc := range MechanismCases() {
 			cfg := baseConfig(o, multicore, wl, mc.Mode, mc.Mech, 0, isShared(wl))
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: mc.Name, Reduction: reduce(base, res)})
-			o.progress("fig17: %s %s done", names[wi], mc.Name)
+			plan.AddPair(names[wi], mc.Name, cfg, base)
 		}
 	}
-	s.averageByConfig()
-	return s, nil
+	return o.runSweep(plan)
 }
 
 // NormalizeTo returns the sweep's average execution-time reductions
@@ -87,37 +81,43 @@ func NormalizeTo(s *Sweep, reference string) (map[string]float64, error) {
 // 100%reg with all mechanisms on.
 func Fig18(o Options, multicore bool, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
-	var sets [][]string
-	var names []string
-	if multicore {
-		sets, names = multiWorkloadSets(o)
-	} else {
-		sets, names = singleWorkloadSets(workloads)
-	}
+	sets, names := figSets(o, multicore, workloads)
 	modes := []mcr.Mode{
 		mcr.MustMode(2, 2, 1),
 		mcr.MustMode(4, 4, 1),
 		mcr.MustMode(4, 2, 1),
 	}
-	s := &Sweep{Figure: "fig18"}
+	plan := &runplan.Plan{Name: "fig18"}
 	for wi, wl := range sets {
-		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
-		base, err := sim.Run(baseCfg)
-		if err != nil {
-			return nil, err
-		}
+		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
 		for _, mode := range modes {
 			cfg := baseConfig(o, multicore, wl, mode, dram.AllMechanisms(), 0, isShared(wl))
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: mode.String(), Reduction: reduce(base, res)})
-			o.progress("fig18: %s %s done", names[wi], mode)
+			plan.AddPair(names[wi], mode.String(), cfg, base)
 		}
 	}
-	s.averageByConfig()
-	return s, nil
+	return o.runSweep(plan)
+}
+
+// variant is a labelled mutation of the shared per-workload configuration.
+type variant struct {
+	label string
+	mut   func(*sim.Config)
+}
+
+// variantPlan declares one plan from per-workload variants: every variant
+// of a workload shares that workload's memoized MCR-off baseline.
+func variantPlan(o Options, figure string, workloads []string, mech dram.Mechanisms, mode mcr.Mode, variants []variant) *runplan.Plan {
+	plan := &runplan.Plan{Name: figure}
+	for _, w := range workloads {
+		wl := []string{w}
+		base := baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false)
+		for _, v := range variants {
+			cfg := baseConfig(o, false, wl, mode, mech, 0, false)
+			v.mut(&cfg)
+			plan.AddPair(w, v.label, cfg, base)
+		}
+	}
+	return plan
 }
 
 // CombinedLayout compares the paper's Sec. 4.4 combination of 2x and 4x
@@ -127,7 +127,6 @@ func Fig18(o Options, multicore bool, workloads []string) (*Sweep, error) {
 // [2/2x/50%reg] (25%).
 func CombinedLayout(o Options, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
-	s := &Sweep{Figure: "combined"}
 	layout, err := mcr.NewLayout(
 		mcr.Band{K: 4, M: 4, Region: 0.25},
 		mcr.Band{K: 2, M: 2, Region: 0.25},
@@ -135,43 +134,22 @@ func CombinedLayout(o Options, workloads []string) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
-	for _, w := range workloads {
-		wl := []string{w}
-		base, err := sim.Run(baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false))
-		if err != nil {
-			return nil, err
-		}
-		variants := []struct {
-			label string
-			mut   func(*sim.Config)
-		}{
-			{"pure [2/2x/50%reg]", func(c *sim.Config) {
-				c.DRAM.Mode = mcr.MustMode(2, 2, 0.5)
-				c.AllocRatio = 0.2
-			}},
-			{"pure [4/4x/50%reg]", func(c *sim.Config) {
-				c.DRAM.Mode = mcr.MustMode(4, 4, 0.5)
-				c.AllocRatio = 0.2
-			}},
-			{"combined 4x+2x", func(c *sim.Config) {
-				c.DRAM.Mode = mcr.Off()
-				c.DRAM.Layout = layout
-				c.AllocRatio4, c.AllocRatio2 = 0.05, 0.15
-			}},
-		}
-		for _, v := range variants {
-			cfg := baseConfig(o, false, wl, mcr.Off(), dram.AllMechanisms(), 0, false)
-			v.mut(&cfg)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{Workload: w, Config: v.label, Reduction: reduce(base, res)})
-			o.progress("combined: %s %s done", w, v.label)
-		}
+	variants := []variant{
+		{"pure [2/2x/50%reg]", func(c *sim.Config) {
+			c.DRAM.Mode = mcr.MustMode(2, 2, 0.5)
+			c.AllocRatio = 0.2
+		}},
+		{"pure [4/4x/50%reg]", func(c *sim.Config) {
+			c.DRAM.Mode = mcr.MustMode(4, 4, 0.5)
+			c.AllocRatio = 0.2
+		}},
+		{"combined 4x+2x", func(c *sim.Config) {
+			c.DRAM.Mode = mcr.Off()
+			c.DRAM.Layout = layout
+			c.AllocRatio4, c.AllocRatio2 = 0.05, 0.15
+		}},
 	}
-	s.averageByConfig()
-	return s, nil
+	return o.runSweep(variantPlan(o, "combined", workloads, dram.AllMechanisms(), mcr.Off(), variants))
 }
 
 // TLDRAMComparison races the two low-latency philosophies the paper's
@@ -182,49 +160,27 @@ func CombinedLayout(o Options, workloads []string) (*Sweep, error) {
 // comparison isolates the timing trade-offs.
 func TLDRAMComparison(o Options, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
-	s := &Sweep{Figure: "tldram"}
-	for _, w := range workloads {
-		wl := []string{w}
-		base, err := sim.Run(baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false))
-		if err != nil {
-			return nil, err
-		}
-		variants := []struct {
-			label string
-			mut   func(*sim.Config)
-		}{
-			{"MCR [2/2x/50%reg]", func(c *sim.Config) {
-				c.DRAM.Mode = mcr.MustMode(2, 2, 0.5)
-				c.DRAM.Mech = dram.AllMechanisms()
-			}},
-			{"MCR [4/4x/50%reg]", func(c *sim.Config) {
-				c.DRAM.Mode = mcr.MustMode(4, 4, 0.5)
-				c.DRAM.Mech = dram.AllMechanisms()
-			}},
-			{"TL-DRAM-like 50% near", func(c *sim.Config) {
-				tl := dram.DefaultTLConfig()
-				c.DRAM.Mode = mcr.Off()
-				c.DRAM.TL = &tl
-			}},
-			{"NUAT-like charge-aware", func(c *sim.Config) {
-				n := dram.DefaultNUATConfig()
-				c.DRAM.Mode = mcr.Off()
-				c.DRAM.NUAT = &n
-			}},
-		}
-		for _, v := range variants {
-			cfg := baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false)
-			v.mut(&cfg)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{Workload: w, Config: v.label, Reduction: reduce(base, res)})
-			o.progress("tldram: %s %s done", w, v.label)
-		}
+	variants := []variant{
+		{"MCR [2/2x/50%reg]", func(c *sim.Config) {
+			c.DRAM.Mode = mcr.MustMode(2, 2, 0.5)
+			c.DRAM.Mech = dram.AllMechanisms()
+		}},
+		{"MCR [4/4x/50%reg]", func(c *sim.Config) {
+			c.DRAM.Mode = mcr.MustMode(4, 4, 0.5)
+			c.DRAM.Mech = dram.AllMechanisms()
+		}},
+		{"TL-DRAM-like 50% near", func(c *sim.Config) {
+			tl := dram.DefaultTLConfig()
+			c.DRAM.Mode = mcr.Off()
+			c.DRAM.TL = &tl
+		}},
+		{"NUAT-like charge-aware", func(c *sim.Config) {
+			n := dram.DefaultNUATConfig()
+			c.DRAM.Mode = mcr.Off()
+			c.DRAM.NUAT = &n
+		}},
 	}
-	s.averageByConfig()
-	return s, nil
+	return o.runSweep(variantPlan(o, "tldram", workloads, dram.Mechanisms{}, mcr.Off(), variants))
 }
 
 // Ablation compares design choices on a fixed workload set under mode
@@ -245,56 +201,26 @@ const (
 // workloads.
 func Ablation(o Options, kind AblationKind, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
-	s := &Sweep{Figure: "ablation"}
-	mode := mcr.MustMode(4, 4, 1)
-	for _, w := range workloads {
-		wl := []string{w}
-		baseCfg := baseConfig(o, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false)
-		base, err := sim.Run(baseCfg)
-		if err != nil {
-			return nil, err
+	var variants []variant
+	switch kind {
+	case AblationWiring:
+		variants = []variant{
+			{"wiring K-to-N-1-K", func(c *sim.Config) { c.DRAM.Wiring = mcr.KtoN1K }},
+			{"wiring K-to-K", func(c *sim.Config) { c.DRAM.Wiring = mcr.KtoK }},
 		}
-		var variants []struct {
-			label string
-			mut   func(*sim.Config)
+	case AblationScheduler:
+		variants = []variant{
+			{"FR-FCFS", func(c *sim.Config) { c.Ctrl.Scheduler = controller.FRFCFS }},
+			{"FCFS", func(c *sim.Config) { c.Ctrl.Scheduler = controller.FCFS }},
 		}
-		switch kind {
-		case AblationWiring:
-			variants = []struct {
-				label string
-				mut   func(*sim.Config)
-			}{
-				{"wiring K-to-N-1-K", func(c *sim.Config) { c.DRAM.Wiring = mcr.KtoN1K }},
-				{"wiring K-to-K", func(c *sim.Config) { c.DRAM.Wiring = mcr.KtoK }},
-			}
-		case AblationScheduler:
-			variants = []struct {
-				label string
-				mut   func(*sim.Config)
-			}{
-				{"FR-FCFS", func(c *sim.Config) { c.Ctrl.Scheduler = controller.FRFCFS }},
-				{"FCFS", func(c *sim.Config) { c.Ctrl.Scheduler = controller.FCFS }},
-			}
-		case AblationRowPolicy:
-			variants = []struct {
-				label string
-				mut   func(*sim.Config)
-			}{
-				{"open-page", func(c *sim.Config) { c.Ctrl.RowPolicy = controller.OpenPage }},
-				{"close-page", func(c *sim.Config) { c.Ctrl.RowPolicy = controller.ClosePage }},
-			}
+	case AblationRowPolicy:
+		variants = []variant{
+			{"open-page", func(c *sim.Config) { c.Ctrl.RowPolicy = controller.OpenPage }},
+			{"close-page", func(c *sim.Config) { c.Ctrl.RowPolicy = controller.ClosePage }},
 		}
-		for _, v := range variants {
-			cfg := baseConfig(o, false, wl, mode, dram.AllMechanisms(), 0, false)
-			v.mut(&cfg)
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{Workload: w, Config: v.label, Reduction: reduce(base, res)})
-			o.progress("ablation: %s %s done", w, v.label)
-		}
+	default:
+		return nil, fmt.Errorf("experiments: unknown ablation kind %d", kind)
 	}
-	s.averageByConfig()
-	return s, nil
+	mode := mcr.MustMode(4, 4, 1)
+	return o.runSweep(variantPlan(o, "ablation", workloads, dram.AllMechanisms(), mode, variants))
 }

@@ -1,0 +1,89 @@
+// Regression tests for the run-plan execution layer as the experiments
+// package uses it: parallel execution must be byte-identical to serial,
+// and each unique baseline must be simulated exactly once per plan.
+
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/runplan"
+)
+
+// renderAll formats a sweep under every metric, concatenated.
+func renderAll(t *testing.T, s *Sweep) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for _, metric := range []string{"exec", "readlat", "edp"} {
+		if err := WriteSweep(&buf, s, metric); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestSweepDeterministicAcrossJobs: the same seed must produce
+// byte-identical formatted output with -jobs 1 and -jobs N, and across
+// repeated executions.
+func TestSweepDeterministicAcrossJobs(t *testing.T) {
+	sweep := func(jobs int) []byte {
+		o := fastOpts()
+		o.Jobs = jobs
+		s, err := Fig11(o, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(t, s)
+	}
+	serial := sweep(1)
+	if again := sweep(1); !bytes.Equal(serial, again) {
+		t.Fatal("serial execution not deterministic across repeats at the same seed")
+	}
+	for _, jobs := range []int{2, 8} {
+		if pooled := sweep(jobs); !bytes.Equal(serial, pooled) {
+			t.Fatalf("jobs=%d output differs from serial:\n--- serial ---\n%s--- pooled ---\n%s", jobs, serial, pooled)
+		}
+	}
+}
+
+// TestBaselineSimulatedOncePerPlan: a Quick-sized multi-config sweep
+// (Fig 13's 15 modes per workload) must issue each unique baseline config
+// exactly once through the pooled executor, while producing results
+// identical to the serial path.
+func TestBaselineSimulatedOncePerPlan(t *testing.T) {
+	run := func(jobs int) (*Sweep, []runplan.Event) {
+		var events []runplan.Event // executor serializes sink calls
+		o := Options{Insts: 40_000, Seed: 1, Jobs: jobs,
+			Progress: runplan.SinkFunc(func(e runplan.Event) { events = append(events, e) })}
+		s, err := Fig13(o, subset)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s, events
+	}
+	pooledSweep, events := run(4)
+
+	const modes = 15
+	wantVariants := len(subset) * modes
+	var baselines, variants int
+	for _, e := range events {
+		switch e.Kind {
+		case runplan.KindBaseline:
+			baselines++
+		case runplan.KindVariant:
+			variants++
+		}
+	}
+	if baselines != len(subset) {
+		t.Errorf("baselines simulated %d times, want exactly %d (one per unique config)", baselines, len(subset))
+	}
+	if variants != wantVariants {
+		t.Errorf("variants simulated %d times, want %d", variants, wantVariants)
+	}
+
+	serialSweep, _ := run(1)
+	if !bytes.Equal(renderAll(t, serialSweep), renderAll(t, pooledSweep)) {
+		t.Error("pooled results differ from the serial path")
+	}
+}

@@ -10,7 +10,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mcr"
-	"repro/internal/sim"
+	"repro/internal/runplan"
 )
 
 // Summary is a mean-and-spread statistic over repeated runs.
@@ -58,24 +58,25 @@ func RepeatedComparison(o Options, workload string, mode mcr.Mode, seeds int) (e
 	if seeds < 1 {
 		return Summary{}, Summary{}, Summary{}, fmt.Errorf("experiments: need at least one seed, got %d", seeds)
 	}
-	var execs, lats, edps []float64
+	wl := []string{workload}
+	plan := &runplan.Plan{Name: "repeat"}
 	for s := 0; s < seeds; s++ {
 		opt := o
 		opt.Seed = o.Seed + int64(s)*7919
-		wl := []string{workload}
-		base, err := sim.Run(baseConfig(opt, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false))
-		if err != nil {
-			return Summary{}, Summary{}, Summary{}, err
-		}
-		v, err := sim.Run(baseConfig(opt, false, wl, mode, dram.AllMechanisms(), 0, false))
-		if err != nil {
-			return Summary{}, Summary{}, Summary{}, err
-		}
-		r := reduce(base, v)
+		base := baseConfig(opt, false, wl, mcr.Off(), dram.Mechanisms{}, 0, false)
+		v := baseConfig(opt, false, wl, mode, dram.AllMechanisms(), 0, false)
+		plan.AddPair(workload, fmt.Sprintf("seed %d", opt.Seed), v, base)
+	}
+	results, err := o.execute(plan)
+	if err != nil {
+		return Summary{}, Summary{}, Summary{}, err
+	}
+	var execs, lats, edps []float64
+	for _, res := range results {
+		r := reduce(res.Base, res.Run)
 		execs = append(execs, r.ExecTime)
 		lats = append(lats, r.ReadLatency)
 		edps = append(edps, r.EDP)
-		o.progress("repeat: %s seed %d done", workload, s)
 	}
 	return summarize(execs), summarize(lats), summarize(edps), nil
 }

@@ -1,6 +1,11 @@
 // The figure sweeps: MCR-ratio sensitivity (Figs 11/14), profile-based
 // allocation (Figs 12/15), MCR-mode analysis (Figs 13/16), the mechanism
 // ablation (Fig 17) and the EDP comparison (Fig 18).
+//
+// Every sweep is expressed as data — a runplan.Plan of (workload, config)
+// cells — and executed by the pooled runplan.Executor, which memoizes the
+// per-workload MCR-off baseline so it is simulated exactly once per plan
+// no matter how many configurations reference it.
 
 package experiments
 
@@ -9,7 +14,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mcr"
-	"repro/internal/sim"
+	"repro/internal/runplan"
 )
 
 // SweepPoint is one (workload/mix, configuration) cell of a figure.
@@ -73,30 +78,18 @@ func ratioModes() []struct {
 	return out
 }
 
-// ratioSweep is the engine shared by Fig 11 and Fig 14.
-func ratioSweep(o Options, figure string, multicore bool, workloads [][]string, names []string) (*Sweep, error) {
-	o = o.withDefaults()
-	s := &Sweep{Figure: figure}
-	modes := ratioModes()
+// ratioPlan declares the Fig 11/14 sweep: every workload × ratio-mode
+// cell against the shared per-workload baseline.
+func ratioPlan(o Options, figure string, multicore bool, workloads [][]string, names []string) *runplan.Plan {
+	plan := &runplan.Plan{Name: figure}
 	for wi, wl := range workloads {
-		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
-		base, err := sim.Run(baseCfg)
-		if err != nil {
-			return nil, err
-		}
-		o.progress("%s: %s baseline done", figure, names[wi])
-		for _, m := range modes {
+		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
+		for _, m := range ratioModes() {
 			cfg := baseConfig(o, multicore, wl, m.mode, eaEpOnly(), 0, isShared(wl))
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: m.label, Reduction: reduce(base, res)})
-			o.progress("%s: %s %s done", figure, names[wi], m.label)
+			plan.AddPair(names[wi], m.label, cfg, base)
 		}
 	}
-	s.averageByConfig()
-	return s, nil
+	return plan
 }
 
 // isShared reports whether a mix is a multithreaded (shared footprint) run.
@@ -129,53 +122,45 @@ func multiWorkloadSets(o Options) ([][]string, []string) {
 
 // Fig11 regenerates the single-core MCR-ratio sensitivity figure.
 func Fig11(o Options, workloads []string) (*Sweep, error) {
+	o = o.withDefaults()
 	sets, names := singleWorkloadSets(workloads)
-	return ratioSweep(o, "fig11", false, sets, names)
+	return o.runSweep(ratioPlan(o, "fig11", false, sets, names))
 }
 
 // Fig14 regenerates the multi-core MCR-ratio sensitivity figure.
 func Fig14(o Options) (*Sweep, error) {
+	o = o.withDefaults()
 	sets, names := multiWorkloadSets(o)
-	return ratioSweep(o, "fig14", true, sets, names)
+	return o.runSweep(ratioPlan(o, "fig14", true, sets, names))
 }
 
-// allocSweep is the engine shared by Fig 12 and Fig 15: mode [4/4x/50%reg]
-// with profile-based page allocation at 10/20/30%.
-func allocSweep(o Options, figure string, multicore bool, workloads [][]string, names []string) (*Sweep, error) {
-	o = o.withDefaults()
-	s := &Sweep{Figure: figure}
+// allocPlan declares the Fig 12/15 sweep: mode [4/4x/50%reg] with
+// profile-based page allocation at 10/20/30%.
+func allocPlan(o Options, figure string, multicore bool, workloads [][]string, names []string) *runplan.Plan {
+	plan := &runplan.Plan{Name: figure}
 	mode := mcr.MustMode(4, 4, 0.5)
 	for wi, wl := range workloads {
-		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
-		base, err := sim.Run(baseCfg)
-		if err != nil {
-			return nil, err
-		}
+		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
 		for _, ratio := range []float64{0.1, 0.2, 0.3} {
 			cfg := baseConfig(o, multicore, wl, mode, dram.AllMechanisms(), ratio, isShared(wl))
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			label := fmt.Sprintf("alloc %.0f%%", ratio*100)
-			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: label, Reduction: reduce(base, res)})
-			o.progress("%s: %s %s done", figure, names[wi], label)
+			plan.AddPair(names[wi], fmt.Sprintf("alloc %.0f%%", ratio*100), cfg, base)
 		}
 	}
-	s.averageByConfig()
-	return s, nil
+	return plan
 }
 
 // Fig12 regenerates the single-core profile-allocation figure.
 func Fig12(o Options, workloads []string) (*Sweep, error) {
+	o = o.withDefaults()
 	sets, names := singleWorkloadSets(workloads)
-	return allocSweep(o, "fig12", false, sets, names)
+	return o.runSweep(allocPlan(o, "fig12", false, sets, names))
 }
 
 // Fig15 regenerates the multi-core profile-allocation figure.
 func Fig15(o Options) (*Sweep, error) {
+	o = o.withDefaults()
 	sets, names := multiWorkloadSets(o)
-	return allocSweep(o, "fig15", true, sets, names)
+	return o.runSweep(allocPlan(o, "fig15", true, sets, names))
 }
 
 // modeAnalysisConfigs are the Fig 13/16 MCR-modes: every M/Kx variant at
@@ -190,39 +175,30 @@ func modeAnalysisConfigs() []mcr.Mode {
 	return out
 }
 
-// modeSweep is the engine shared by Fig 13 and Fig 16: 10% allocation, all
-// mechanisms, averaged over workloads (the paper plots averages only).
-func modeSweep(o Options, figure string, multicore bool, workloads [][]string, names []string) (*Sweep, error) {
-	o = o.withDefaults()
-	s := &Sweep{Figure: figure}
+// modePlan declares the Fig 13/16 sweep: 10% allocation, all mechanisms,
+// 15 modes per workload sharing one memoized baseline each.
+func modePlan(o Options, figure string, multicore bool, workloads [][]string, names []string) *runplan.Plan {
+	plan := &runplan.Plan{Name: figure}
 	for wi, wl := range workloads {
-		baseCfg := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
-		base, err := sim.Run(baseCfg)
-		if err != nil {
-			return nil, err
-		}
+		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
 		for _, mode := range modeAnalysisConfigs() {
 			cfg := baseConfig(o, multicore, wl, mode, dram.AllMechanisms(), 0.1, isShared(wl))
-			res, err := sim.Run(cfg)
-			if err != nil {
-				return nil, err
-			}
-			s.Points = append(s.Points, SweepPoint{Workload: names[wi], Config: mode.String(), Reduction: reduce(base, res)})
-			o.progress("%s: %s %s done", figure, names[wi], mode)
+			plan.AddPair(names[wi], mode.String(), cfg, base)
 		}
 	}
-	s.averageByConfig()
-	return s, nil
+	return plan
 }
 
 // Fig13 regenerates the single-core MCR-mode analysis.
 func Fig13(o Options, workloads []string) (*Sweep, error) {
+	o = o.withDefaults()
 	sets, names := singleWorkloadSets(workloads)
-	return modeSweep(o, "fig13", false, sets, names)
+	return o.runSweep(modePlan(o, "fig13", false, sets, names))
 }
 
 // Fig16 regenerates the multi-core MCR-mode analysis.
 func Fig16(o Options) (*Sweep, error) {
+	o = o.withDefaults()
 	sets, names := multiWorkloadSets(o)
-	return modeSweep(o, "fig16", true, sets, names)
+	return o.runSweep(modePlan(o, "fig16", true, sets, names))
 }

@@ -1,0 +1,219 @@
+// The pooled plan executor: bounded workers, baseline memoization,
+// deterministic result ordering and cancellation.
+
+package runplan
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Result is one finished spec: the variant's result, the (possibly
+// shared) baseline's result, and the variant's instrumentation.
+type Result struct {
+	Workload string
+	Config   string
+	// Base is nil when the spec had no baseline; otherwise it is the
+	// memoized baseline result, shared by every spec whose baseline
+	// config has the same canonical key.
+	Base *sim.Result
+	Run  *sim.Result
+	// Stats instruments the variant run; BaseStats the baseline run it
+	// references (identical across all specs sharing that baseline).
+	Stats     RunStats
+	BaseStats RunStats
+}
+
+// RunFunc executes one simulation; it exists so tests can count or fake
+// runs. The default is sim.RunContext.
+type RunFunc func(context.Context, sim.Config) (*sim.Result, error)
+
+// Executor runs plans on a bounded worker pool.
+type Executor struct {
+	// Jobs bounds the number of concurrently running simulations;
+	// 0 (or negative) selects GOMAXPROCS, 1 gives serial execution.
+	Jobs int
+	// Sink, when non-nil, receives one Event per finished simulation.
+	// Calls are serialized by the executor.
+	Sink Sink
+	// Run, when non-nil, replaces sim.RunContext (tests).
+	Run RunFunc
+}
+
+// baseEntry memoizes one unique baseline configuration.
+type baseEntry struct {
+	cfg      sim.Config
+	workload string // labels of the first spec referencing it
+	config   string
+	done     chan struct{}
+	res      *sim.Result
+	err      error
+	stats    RunStats
+}
+
+// Execute runs every spec of the plan and returns results in spec order.
+// Each unique baseline configuration is simulated exactly once. The first
+// simulation error cancels the remaining work and is returned; an
+// external cancellation returns the context's error.
+func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	jobs := e.Jobs
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	run := e.Run
+	if run == nil {
+		run = sim.RunContext
+	}
+
+	// Deduplicate baselines by canonical key, keeping first-reference
+	// order so scheduling (and progress output under -jobs 1) is stable.
+	baseKeys := make([]string, len(p.Specs))
+	entries := make(map[string]*baseEntry)
+	var baseOrder []string
+	for i, s := range p.Specs {
+		if s.Baseline == nil {
+			continue
+		}
+		key, err := ConfigKey(*s.Baseline)
+		if err != nil {
+			return nil, err
+		}
+		baseKeys[i] = key
+		if _, ok := entries[key]; !ok {
+			entries[key] = &baseEntry{
+				cfg:      *s.Baseline,
+				workload: s.Workload,
+				config:   s.Config,
+				done:     make(chan struct{}),
+			}
+			baseOrder = append(baseOrder, key)
+		}
+	}
+	total := len(p.Specs) + len(baseOrder)
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		finished int
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	emit := func(ev Event) {
+		mu.Lock()
+		finished++
+		if e.Sink != nil {
+			ev.Plan = p.Name
+			ev.Done = finished
+			ev.Total = total
+			ev.Pending = total - finished
+			e.Sink.Event(ev)
+		}
+		mu.Unlock()
+	}
+
+	// Work items flow through one channel, all baselines first. The
+	// channel is FIFO, so by the time a worker picks up a variant every
+	// baseline has already been picked up (running or finished): a
+	// variant waiting on its baseline can never starve it.
+	type job struct {
+		baseKey string // non-empty: run this memoized baseline
+		specIdx int    // otherwise: run this spec
+	}
+	jobCh := make(chan job)
+	go func() {
+		defer close(jobCh)
+		for _, k := range baseOrder {
+			select {
+			case jobCh <- job{baseKey: k}:
+			case <-ctx.Done():
+				return
+			}
+		}
+		for i := range p.Specs {
+			select {
+			case jobCh <- job{specIdx: i}:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	results := make([]Result, len(p.Specs))
+	var wg sync.WaitGroup
+	wg.Add(jobs)
+	for w := 0; w < jobs; w++ {
+		go func() {
+			defer wg.Done()
+			for jb := range jobCh {
+				if jb.baseKey != "" {
+					en := entries[jb.baseKey]
+					start := time.Now()
+					res, err := run(ctx, en.cfg)
+					en.res, en.err = res, err
+					if res != nil {
+						en.stats = RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts}
+					}
+					close(en.done)
+					if err != nil {
+						fail(err)
+						continue
+					}
+					emit(Event{Kind: KindBaseline, Workload: en.workload, Config: en.config, Stats: en.stats})
+					continue
+				}
+				s := p.Specs[jb.specIdx]
+				var en *baseEntry
+				if key := baseKeys[jb.specIdx]; key != "" {
+					en = entries[key]
+					select {
+					case <-en.done:
+					case <-ctx.Done():
+						continue
+					}
+					if en.err != nil {
+						continue // failure already recorded by the baseline job
+					}
+				}
+				start := time.Now()
+				res, err := run(ctx, s.Run)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				stats := RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts}
+				r := Result{Workload: s.Workload, Config: s.Config, Run: res, Stats: stats}
+				if en != nil {
+					r.Base = en.res
+					r.BaseStats = en.stats
+				}
+				results[jb.specIdx] = r
+				emit(Event{Kind: KindVariant, Workload: s.Workload, Config: s.Config, Stats: stats})
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

@@ -1,0 +1,63 @@
+// Package runplan turns a simulation sweep into data: a Plan is an ordered
+// list of Spec cells (workload × configuration, each carrying its full
+// sim.Config), and an Executor runs a plan on a bounded worker pool.
+//
+// The executor memoizes baseline runs by a canonical configuration key, so
+// a plan that pairs many variants of one workload with the same MCR-off
+// baseline simulates that baseline exactly once. Results come back in
+// spec order regardless of completion order, context cancellation reaches
+// the simulator's main loop, and every finished run is reported through a
+// race-free instrumentation sink.
+package runplan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Spec is one cell of a plan: a labelled simulation, optionally paired
+// with a baseline configuration it is compared against.
+type Spec struct {
+	// Workload labels the row of the figure (a workload or mix name);
+	// Config labels the column (the swept configuration).
+	Workload string
+	Config   string
+	// Run is the variant simulation to execute.
+	Run sim.Config
+	// Baseline, when non-nil, is the comparison run. Baselines are
+	// memoized across the whole plan by canonical config key: every spec
+	// sharing an identical baseline configuration shares one simulation.
+	Baseline *sim.Config
+}
+
+// Plan is an ordered set of specs; the executor preserves this order in
+// its results no matter how the pool schedules them.
+type Plan struct {
+	Name  string
+	Specs []Spec
+}
+
+// Add appends a spec without a baseline.
+func (p *Plan) Add(workload, config string, run sim.Config) {
+	p.Specs = append(p.Specs, Spec{Workload: workload, Config: config, Run: run})
+}
+
+// AddPair appends a spec compared against a baseline configuration.
+func (p *Plan) AddPair(workload, config string, run, baseline sim.Config) {
+	p.Specs = append(p.Specs, Spec{Workload: workload, Config: config, Run: run, Baseline: &baseline})
+}
+
+// ConfigKey returns the canonical identity of a simulation configuration,
+// used to memoize baseline runs. Two configs with equal keys produce
+// identical results: sim.Run is deterministic in its config (the seed is
+// part of it), so sharing one simulation across all specs that reference
+// an equal baseline is sound.
+func ConfigKey(cfg sim.Config) (string, error) {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "", fmt.Errorf("runplan: canonical config key: %w", err)
+	}
+	return string(b), nil
+}

@@ -1,0 +1,91 @@
+// The instrumentation sink: every finished simulation is reported as an
+// Event. The executor serializes Event calls under its own mutex, so any
+// sink — including one appending to a plain slice — is race-free.
+
+package runplan
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Kind tags what a finished run was.
+type Kind string
+
+// Event kinds.
+const (
+	// KindBaseline is a memoized baseline simulation (one per unique
+	// baseline config in the plan).
+	KindBaseline Kind = "baseline"
+	// KindVariant is a spec's own simulation.
+	KindVariant Kind = "variant"
+)
+
+// RunStats instruments one finished simulation.
+type RunStats struct {
+	// Wall is the host wall-clock duration of the run.
+	Wall time.Duration
+	// MemCycles is the simulated length in memory-clock cycles; Retired
+	// is the total instructions retired across all cores.
+	MemCycles int64
+	Retired   int64
+}
+
+// CyclesPerSec is the simulation throughput in simulated memory cycles
+// per wall-clock second.
+func (s RunStats) CyclesPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.MemCycles) / s.Wall.Seconds()
+}
+
+// InstsPerSec is the simulation throughput in retired instructions per
+// wall-clock second.
+func (s RunStats) InstsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Retired) / s.Wall.Seconds()
+}
+
+// Event describes one finished run within a plan execution.
+type Event struct {
+	// Plan is the plan's name; Workload/Config label the run (for
+	// baselines, the labels of the first spec that referenced it).
+	Plan     string
+	Kind     Kind
+	Workload string
+	Config   string
+	// Done counts finished simulations including this one; Total is the
+	// number the plan will issue (specs plus unique baselines); Pending
+	// is the queue of cells not yet finished.
+	Done    int
+	Total   int
+	Pending int
+	Stats   RunStats
+}
+
+// Sink receives run events. The executor serializes calls, so
+// implementations need no locking of their own.
+type Sink interface {
+	Event(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Event implements Sink.
+func (f SinkFunc) Event(e Event) { f(e) }
+
+// LineSink returns a sink that writes one human-readable line per event,
+// e.g. for -v progress on stderr.
+func LineSink(w io.Writer) Sink {
+	return SinkFunc(func(e Event) {
+		fmt.Fprintf(w, "%s [%d/%d] %s %s · %s: %.0f ms, %.2f Mcyc/s, %.2f Minst/s, %d pending\n",
+			e.Plan, e.Done, e.Total, e.Workload, e.Config, e.Kind,
+			float64(e.Stats.Wall.Microseconds())/1e3,
+			e.Stats.CyclesPerSec()/1e6, e.Stats.InstsPerSec()/1e6, e.Pending)
+	})
+}

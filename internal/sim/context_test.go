@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestRunContextCancel: a cancelled context must abort the main loop with
+// the context's error instead of draining the instruction budget.
+func TestRunContextCancel(t *testing.T) {
+	cfg := DefaultConfig("tigr")
+	cfg.InstsPerCore = 50_000_000 // far more than we are willing to wait for
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if el := time.Since(start); el > 5*time.Second {
+		t.Fatalf("cancellation took %v, want a prompt abort", el)
+	}
+}
+
+// TestRunContextDeadline: mid-run cancellation (not just pre-cancelled)
+// must also reach the loop.
+func TestRunContextDeadline(t *testing.T) {
+	cfg := DefaultConfig("tigr")
+	cfg.InstsPerCore = 50_000_000
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	_, err := RunContext(ctx, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunStatsPopulated: every finished run must carry the executor's
+// instrumentation inputs.
+func TestRunStatsPopulated(t *testing.T) {
+	cfg := DefaultConfig("tigr")
+	cfg.InstsPerCore = 20_000
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MemCycles <= 0 {
+		t.Fatalf("MemCycles = %d, want > 0", res.MemCycles)
+	}
+	if res.RetiredInsts != cfg.InstsPerCore {
+		t.Fatalf("RetiredInsts = %d, want %d", res.RetiredInsts, cfg.InstsPerCore)
+	}
+	if res.Wall <= 0 {
+		t.Fatalf("Wall = %v, want > 0", res.Wall)
+	}
+	if res.MemCycles*4 < res.ExecCPUCycles {
+		t.Fatalf("MemCycles %d inconsistent with ExecCPUCycles %d", res.MemCycles, res.ExecCPUCycles)
+	}
+}

@@ -6,7 +6,9 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/alloc"
 	"repro/internal/controller"
@@ -96,10 +98,29 @@ type Result struct {
 	// Integrity holds retention violations when Config.Integrity was set
 	// (empty = schedule verified safe).
 	Integrity []integrity.Violation
+
+	// MemCycles is the simulated length of the run in memory-clock cycles
+	// (execution plus drain); RetiredInsts sums retirement over all cores.
+	MemCycles    int64
+	RetiredInsts int64
+	// Wall is the host wall-clock duration of the run, for throughput
+	// instrumentation (simulated cycles or retired instructions per second).
+	Wall time.Duration
 }
 
 // Run executes the simulation to completion.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext executes the simulation to completion, aborting early (with
+// the context's error) when ctx is cancelled. Cancellation is checked in
+// the main cycle loop, so Ctrl-C and test timeouts cut long runs short
+// instead of waiting for the instruction budget to drain.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(cfg.Workloads) == 0 {
 		return nil, fmt.Errorf("sim: at least one workload required")
 	}
@@ -143,7 +164,13 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	return runLoop(cfg, dev, ctrl, cores, checker)
+	start := time.Now()
+	res, err := runLoop(ctx, cfg, dev, ctrl, cores, checker)
+	if err != nil {
+		return nil, err
+	}
+	res.Wall = time.Since(start)
+	return res, nil
 }
 
 // coreSeed derives a per-core deterministic seed.
@@ -215,7 +242,7 @@ func (q *completionQueue) Pop() any {
 
 // runLoop is the main cycle loop: 4 CPU cycles then 1 controller cycle per
 // memory cycle, with rank-state power accounting.
-func runLoop(cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []*cpu.Core, checker *integrity.DeviceAdapter) (*Result, error) {
+func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []*cpu.Core, checker *integrity.DeviceAdapter) (*Result, error) {
 	geom := dev.Config().Geom
 	nRanks := geom.Channels * geom.Ranks
 	idleStreak := make([]int, nRanks)
@@ -235,6 +262,10 @@ func runLoop(cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []
 	for mem = 0; ; mem++ {
 		if mem > safetyCap {
 			return nil, fmt.Errorf("sim: exceeded %d memory cycles without finishing", safetyCap)
+		}
+		// Cancellation check, amortized so the hot loop stays branch-cheap.
+		if mem&0xFFF == 0 && ctx.Err() != nil {
+			return nil, ctx.Err()
 		}
 		// Deliver due read completions before the cores run.
 		for len(pending) > 0 && pending[0].DoneAt <= mem {
@@ -302,7 +333,7 @@ func runLoop(cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []
 		}
 	}
 
-	res := &Result{Workloads: cfg.Workloads, ReadCount: reads, Latency: hist}
+	res := &Result{Workloads: cfg.Workloads, ReadCount: reads, Latency: hist, MemCycles: mem}
 	if checker != nil {
 		checker.Finish(mem)
 		// Non-nil even when clean, so consumers can tell "verified safe"
@@ -325,6 +356,7 @@ func runLoop(cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []
 		if cs.DoneAtCPU > 0 {
 			cs.IPC = float64(cs.Retired) / float64(cs.DoneAtCPU)
 		}
+		res.RetiredInsts += cs.Retired
 		res.Cores = append(res.Cores, cs)
 	}
 	if res.ExecCPUCycles == 0 {

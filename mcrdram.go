@@ -1,6 +1,7 @@
 package mcrdram
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/circuit"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/mcr"
 	"repro/internal/power"
 	"repro/internal/report"
+	"repro/internal/runplan"
 	"repro/internal/sim"
 	"repro/internal/timing"
 	"repro/internal/trace"
@@ -105,6 +107,49 @@ func CombinedLayout(workload string, layout Layout, ratio4, ratio2 float64) Conf
 
 // Simulate runs a configuration to completion.
 func Simulate(cfg Config) (*Result, error) { return sim.Run(cfg) }
+
+// SimulateContext runs a configuration to completion, aborting early when
+// ctx is cancelled (Ctrl-C, deadlines).
+func SimulateContext(ctx context.Context, cfg Config) (*Result, error) {
+	return sim.RunContext(ctx, cfg)
+}
+
+// RunPlan is a declarative sweep: an ordered list of RunSpec cells, each a
+// labelled simulation optionally paired with a baseline.
+type RunPlan = runplan.Plan
+
+// RunSpec is one cell of a run plan.
+type RunSpec = runplan.Spec
+
+// RunExecutor runs plans on a bounded worker pool with per-plan baseline
+// memoization, deterministic result ordering and context cancellation.
+type RunExecutor = runplan.Executor
+
+// RunResult is one finished plan cell (variant, shared baseline, stats).
+type RunResult = runplan.Result
+
+// RunEvent instruments one finished simulation of a plan execution.
+type RunEvent = runplan.Event
+
+// RunStats carries a run's wall time, simulated cycles and retired
+// instructions (throughput via CyclesPerSec/InstsPerSec).
+type RunStats = runplan.RunStats
+
+// ProgressSink receives one RunEvent per finished simulation; the
+// executor serializes calls, so sinks need no locking.
+type ProgressSink = runplan.Sink
+
+// ProgressLines returns a sink that writes one human-readable progress
+// line per finished simulation to w.
+func ProgressLines(w io.Writer) ProgressSink { return runplan.LineSink(w) }
+
+// ProgressFunc adapts a function to the ProgressSink interface.
+func ProgressFunc(f func(RunEvent)) ProgressSink { return runplan.SinkFunc(f) }
+
+// BaselineConfigOf derives the MCR-off comparison configuration of a
+// variant (same workloads, seed and geometry; MCR, its mechanisms and
+// profile allocation disabled).
+func BaselineConfigOf(variant Config) Config { return experiments.BaselineOf(variant) }
 
 // Table3 returns the paper's canonical Table 3 timing constraints.
 func Table3() []ModeTiming { return timing.Table3() }
