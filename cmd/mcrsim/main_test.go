@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func TestParseModeValid(t *testing.T) {
@@ -15,7 +16,7 @@ func TestParseModeValid(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m != mcr.MustMode(4, 4, 0.5) {
+	if m != mcrtest.Mode(4, 4, 0.5) {
 		t.Fatalf("m must default to k, got %v", m)
 	}
 	if _, err := parseMode(2, 1, 0.25); err != nil {

@@ -239,8 +239,12 @@ func runExtra(name string, opt experiments.Options, metric string, seeds int) er
 		}
 		return writeBoth(s, metric)
 	case "repeat":
+		mode, err := mcr.NewMode(4, 4, 1)
+		if err != nil {
+			return err
+		}
 		for _, w := range []string{"tigr", "comm2", "black"} {
-			exec, readlat, edp, err := experiments.RepeatedComparison(opt, w, mcr.MustMode(4, 4, 1), seeds)
+			exec, readlat, edp, err := experiments.RepeatedComparison(opt, w, mode, seeds)
 			if err != nil {
 				return err
 			}

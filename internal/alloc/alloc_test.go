@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func geom() core.Geometry { return core.SingleCoreGeometry() }
@@ -31,7 +32,7 @@ func TestIdentityMapsNothing(t *testing.T) {
 }
 
 func TestProfileBasedMovesHotRows(t *testing.T) {
-	g := gen(t, mcr.MustMode(4, 4, 0.5))
+	g := gen(t, mcrtest.Mode(4, 4, 0.5))
 	counts := map[int]map[int]int64{
 		0: {10: 1000, 20: 900, 30: 800, 40: 5, 50: 4, 60: 3, 70: 2, 80: 1, 90: 1, 95: 1},
 	}
@@ -60,7 +61,7 @@ func TestProfileBasedMovesHotRows(t *testing.T) {
 }
 
 func TestProfileBasedPreservesBankAndColumn(t *testing.T) {
-	g := gen(t, mcr.MustMode(2, 2, 0.5))
+	g := gen(t, mcrtest.Mode(2, 2, 0.5))
 	counts := map[int]map[int]int64{
 		5: {1: 100, 2: 50},
 	}
@@ -81,7 +82,7 @@ func TestProfileBasedPreservesBankAndColumn(t *testing.T) {
 
 // TestPermutationBijective: the map never aliases two rows onto one.
 func TestPermutationBijective(t *testing.T) {
-	g := gen(t, mcr.MustMode(4, 4, 0.5))
+	g := gen(t, mcrtest.Mode(4, 4, 0.5))
 	counts := map[int]map[int]int64{0: {}}
 	for r := 0; r < 2000; r++ {
 		counts[0][r] = int64(2000 - r)
@@ -101,7 +102,7 @@ func TestPermutationBijective(t *testing.T) {
 }
 
 func TestProfileBasedRejects(t *testing.T) {
-	g := gen(t, mcr.MustMode(2, 2, 0.5))
+	g := gen(t, mcrtest.Mode(2, 2, 0.5))
 	if _, err := ProfileBased(geom(), g, nil, -0.1); err == nil {
 		t.Fatal("negative ratio must be rejected")
 	}
@@ -118,7 +119,7 @@ func TestProfileBasedRejects(t *testing.T) {
 
 func TestProfileBasedZeroRatioOrDisabledMode(t *testing.T) {
 	counts := map[int]map[int]int64{0: {1: 10}}
-	g := gen(t, mcr.MustMode(2, 2, 0.5))
+	g := gen(t, mcrtest.Mode(2, 2, 0.5))
 	m, err := ProfileBased(geom(), g, counts, 0)
 	if err != nil || !m.IsIdentity() {
 		t.Fatal("zero ratio must yield the identity")
@@ -133,7 +134,7 @@ func TestProfileBasedZeroRatioOrDisabledMode(t *testing.T) {
 // TestMCRRequestFraction pins the footnote-9 machinery: with a heavily
 // skewed profile, a small allocation ratio captures most requests.
 func TestMCRRequestFraction(t *testing.T) {
-	g := gen(t, mcr.MustMode(4, 4, 0.5))
+	g := gen(t, mcrtest.Mode(4, 4, 0.5))
 	counts := map[int]map[int]int64{0: {}}
 	// 10 hot rows with 100 accesses, 90 cold rows with 1.
 	for r := 0; r < 10; r++ {
@@ -153,7 +154,7 @@ func TestMCRRequestFraction(t *testing.T) {
 }
 
 func TestMCRRequestFractionEmptyProfile(t *testing.T) {
-	g := gen(t, mcr.MustMode(2, 2, 0.5))
+	g := gen(t, mcrtest.Mode(2, 2, 0.5))
 	m := Identity(geom())
 	if got := m.MCRRequestFraction(g, nil); got != 0 {
 		t.Fatalf("empty profile fraction = %g, want 0", got)
@@ -162,7 +163,7 @@ func TestMCRRequestFractionEmptyProfile(t *testing.T) {
 
 // Property: mapping any address keeps it inside the geometry.
 func TestMapStaysInRange(t *testing.T) {
-	g := gen(t, mcr.MustMode(4, 4, 1))
+	g := gen(t, mcrtest.Mode(4, 4, 1))
 	counts := map[int]map[int]int64{3: {}}
 	for r := 0; r < 500; r++ {
 		counts[3][r*7%geom().Rows] = int64(r)
@@ -185,7 +186,7 @@ func TestMapStaysInRange(t *testing.T) {
 // bases degrades gracefully.
 func TestHonorsSlotCapacity(t *testing.T) {
 	smallGeom := core.Geometry{Channels: 1, Ranks: 1, Banks: 1, Rows: 16384, Columns: 128, SubarrayLog: 9}
-	g, err := mcr.NewGenerator(mcr.MustMode(4, 4, 0.25), 512)
+	g, err := mcr.NewGenerator(mcrtest.Mode(4, 4, 0.25), 512)
 	if err != nil {
 		t.Fatal(err)
 	}

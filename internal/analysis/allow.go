@@ -1,0 +1,56 @@
+// The //mcrlint:allow escape hatch: a comment of the form
+//
+//	//mcrlint:allow <check> [justification]
+//
+// on the flagged line, or on the line directly above it, suppresses that
+// check's diagnostics for the line.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const allowPrefix = "mcrlint:allow"
+
+// allowKey identifies one (file, line, check) suppression.
+type allowKey struct {
+	file  string
+	line  int
+	check string
+}
+
+// allowSet indexes every allow comment of a package.
+type allowSet map[allowKey]bool
+
+// collectAllows scans all comments of the package's files.
+func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
+	set := allowSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				set[allowKey{file: pos.Filename, line: pos.Line, check: fields[0]}] = true
+			}
+		}
+	}
+	return set
+}
+
+// allows reports whether d is suppressed: an allow for its check on its
+// line or the line above.
+func (s allowSet) allows(d Diagnostic) bool {
+	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
+		s[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+}

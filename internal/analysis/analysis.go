@@ -1,0 +1,163 @@
+// Package analysis is a stdlib-only static-analysis framework for the
+// MCR-DRAM repository, built on go/ast, go/parser, go/token, go/types and
+// go/importer. It hosts the domain-invariant checks that go vet cannot
+// express — timing constants must stay faithful to the paper's Table 3,
+// simulation code must be bit-deterministic, command-legality panics must
+// stay confined to internal/dram, contexts must propagate, and cycle- and
+// nanosecond-denominated quantities must not mix — and the cmd/mcrlint
+// driver that runs them over the module.
+//
+// A diagnostic can be suppressed with a trailing or preceding comment of
+// the form
+//
+//	//mcrlint:allow <check> [justification]
+//
+// which is the escape hatch for deliberate exceptions (for example the
+// wall-clock throughput instrumentation in internal/runplan).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Diagnostic is one finding of one check.
+type Diagnostic struct {
+	Check   string         // name of the check that fired
+	Pos     token.Position // resolved file:line:column
+	Message string
+}
+
+// String renders the diagnostic the way the driver prints it.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Check, d.Message)
+}
+
+// Pass carries one type-checked package through one check.
+type Pass struct {
+	Fset *token.FileSet
+	// Path is the package's import path; checks scope themselves with
+	// InPackage ("repro/internal/sim" and fixture paths alike).
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	check  string
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:   p.check,
+		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// InPackage reports whether the pass's package is internal/<name> (or a
+// package below it), independent of the module prefix so that fixture
+// packages under testdata match the same way real packages do.
+func (p *Pass) InPackage(name string) bool {
+	q := "internal/" + name
+	return p.Path == q ||
+		strings.HasSuffix(p.Path, "/"+q) ||
+		strings.Contains(p.Path, "/"+q+"/") ||
+		strings.HasPrefix(p.Path, q+"/")
+}
+
+// Analyzer is one registered check.
+type Analyzer struct {
+	Name string // short identifier, e.g. "determinism"
+	Doc  string // one-line description for -checks
+	Run  func(*Pass)
+}
+
+// All returns every registered check, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		TimingLiteral,
+		Determinism,
+		PanicPolicy,
+		CtxPropagate,
+		UnitMix,
+	}
+}
+
+// RunChecks executes the given analyzers over one loaded package and
+// returns the surviving diagnostics (allow-comments already applied),
+// ordered by position.
+func RunChecks(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	allowed := collectAllows(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:  pkg.Fset,
+			Path:  pkg.Path,
+			Files: pkg.Files,
+			Pkg:   pkg.Types,
+			Info:  pkg.Info,
+			check: a.Name,
+		}
+		pass.report = func(d Diagnostic) {
+			if !allowed.allows(d) {
+				out = append(out, d)
+			}
+		}
+		a.Run(pass)
+	}
+	sortDiagnostics(out)
+	return out
+}
+
+// sortDiagnostics orders by file, line, column, then check name.
+func sortDiagnostics(ds []Diagnostic) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && diagnosticLess(ds[j], ds[j-1]); j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}
+
+func diagnosticLess(a, b Diagnostic) bool {
+	if a.Pos.Filename != b.Pos.Filename {
+		return a.Pos.Filename < b.Pos.Filename
+	}
+	if a.Pos.Line != b.Pos.Line {
+		return a.Pos.Line < b.Pos.Line
+	}
+	if a.Pos.Column != b.Pos.Column {
+		return a.Pos.Column < b.Pos.Column
+	}
+	return a.Check < b.Check
+}
+
+// inspectWithStack walks every file, calling fn with each node and the
+// stack of its ancestors (outermost first, n excluded).
+func inspectWithStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			fn(n, stack)
+			stack = append(stack, n)
+			return true
+		})
+	}
+}
+
+// pkgNameOf resolves an identifier used as a package qualifier to the
+// imported package path, or "" when it is not a package name.
+func pkgNameOf(info *types.Info, id *ast.Ident) string {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

@@ -1,0 +1,42 @@
+package sim
+
+import "context"
+
+type Config struct{ Insts int }
+
+type Result struct{ MemCycles int64 }
+
+func run(cfg Config) (*Result, error) {
+	return &Result{MemCycles: int64(cfg.Insts)}, nil
+}
+
+// Run is the context-free entry point; callers without a context use it
+// freely.
+func Run(cfg Config) (*Result, error) {
+	return run(cfg)
+}
+
+// RunContext is the cancellable variant.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return run(cfg)
+}
+
+// A context holder calling the context-free variant: flagged.
+func drops(ctx context.Context, cfg Config) (*Result, error) {
+	return Run(cfg) // want `drops receives a context\.Context but calls Run; call RunContext`
+}
+
+// A context holder calling the Context variant: quiet.
+func propagates(ctx context.Context, cfg Config) (*Result, error) {
+	return RunContext(ctx, cfg)
+}
+
+// Calling a function with no Context sibling is quiet even with a context
+// in hand.
+func noVariant(ctx context.Context, cfg Config) (*Result, error) {
+	_ = ctx
+	return run(cfg)
+}

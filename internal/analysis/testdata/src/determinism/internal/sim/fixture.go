@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Wall-clock reads in simulation code: flagged.
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time\.Now is wall-clock nondeterminism`
+}
+
+// The escape hatch: an annotated instrumentation site is suppressed.
+func instrumented() time.Duration {
+	start := time.Now() //mcrlint:allow determinism wall-clock instrumentation only
+	return time.Since(start)
+}
+
+// The global math/rand source: flagged.
+func unseeded() int {
+	return rand.Intn(8) // want `rand\.Intn draws from the global math/rand source`
+}
+
+// An explicitly seeded generator: quiet.
+func seeded(seed int64) float64 {
+	r := rand.New(rand.NewSource(seed))
+	return r.Float64()
+}
+
+// Map iteration feeding printed output: flagged.
+func printMap(m map[string]int) {
+	for k, v := range m { // want `range over map feeds output \(Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+// Map iteration feeding an append: flagged.
+func collectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map feeds an append`
+		out = append(out, v)
+	}
+	return out
+}
+
+// Map iteration with writes keyed by the map key: quiet, the end state is
+// order-free.
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}

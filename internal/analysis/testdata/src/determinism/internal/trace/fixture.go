@@ -1,0 +1,9 @@
+package trace
+
+import "time"
+
+// internal/trace is outside the determinism scope (sim, experiments,
+// runplan): nothing here is flagged.
+func stamp() int64 {
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,9 @@
+package dram
+
+// internal/dram owns the command-legality assertions: panic is the policy
+// here, so nothing is flagged.
+func mustLegal(ok bool) {
+	if !ok {
+		panic("dram: command issued without CanIssue")
+	}
+}

@@ -1,0 +1,17 @@
+package dram
+
+// A Table 3 value re-typed outside internal/timing, in timing-named
+// context: flagged.
+const tRFC4GbNS = 260.0 // want `raw DRAM timing literal 260\.0`
+
+// The same number without any timing-flavored identifier nearby: quiet.
+const readQueueDepth = 64
+
+// A timing-named constant whose value is not a known Table 3 entry: quiet.
+const tRCDGuessNS = 12.5
+
+// A known value flowing out of a refresh-named function: flagged via the
+// enclosing function name.
+func refreshWindowMs(m int) float64 {
+	return 64.0 / float64(m) // want `raw DRAM timing literal 64\.0`
+}

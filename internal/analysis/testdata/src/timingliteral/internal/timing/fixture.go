@@ -1,0 +1,12 @@
+package timing
+
+// The definition site of the canonical constants is exempt: no findings
+// anywhere in internal/timing.
+const (
+	TRFC4GbNS       = 260.0
+	RetentionMs     = 64
+	TRCDBaselineNS  = 13.75
+	RefreshCushion  = 7.5
+	tRASBaselineNS  = 35.0
+	refreshPeriodNS = 7812.5
+)

@@ -1,0 +1,40 @@
+package sim
+
+import "repro/internal/timing"
+
+// Adding a cycle-typed field to a nanosecond-typed field: flagged.
+func badSum(p timing.Params, ns timing.DDR3NS) float64 {
+	return float64(p.TRCD) + ns.TRAS // want `operands of \+ mix cycles- and ns-denominated`
+}
+
+// Comparing cycles against a nanosecond budget: flagged.
+func badCompare(totalCycles int64, budgetNS float64) bool {
+	return float64(totalCycles) > budgetNS // want `operands of > mix cycles- and ns-denominated`
+}
+
+// Assigning cycles into a nanosecond-named variable: flagged.
+func badAssign(p timing.Params) float64 {
+	var latencyNS float64
+	latencyNS = float64(p.TRCD) // want `sides of = mix ns- and cycles-denominated`
+	return latencyNS
+}
+
+// Initializing a cycle-denominated struct field from nanoseconds: flagged.
+func badInit(tRCDNS float64) timing.Params {
+	return timing.Params{TRCD: int(tRCDNS)} // want `field initializer mix cycles- and ns-denominated`
+}
+
+// Same-unit arithmetic: quiet.
+func goodSum(p timing.Params) int {
+	return p.TRAS + p.TRP
+}
+
+// Mixing after an explicit conversion: quiet.
+func goodConverted(p timing.Params, ns timing.DDR3NS) int {
+	return p.TRCD + timing.NSToMemCycles(ns.TRAS)
+}
+
+// Products are how conversions are written, so they stay quiet.
+func goodRatio(cycles int64, ns float64) float64 {
+	return float64(cycles) * ns
+}

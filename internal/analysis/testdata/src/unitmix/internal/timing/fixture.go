@@ -1,0 +1,25 @@
+package timing
+
+// Params is cycle-denominated, mirroring the real timing.Params.
+type Params struct {
+	TRCD int
+	TRAS int
+	TRP  int
+}
+
+// DDR3NS is nanosecond-denominated, mirroring the real timing.DDR3NS.
+type DDR3NS struct {
+	TRCD, TRAS, TRP float64
+}
+
+const memCycleNS = 1.25
+
+// NSToMemCycles converts nanoseconds to whole memory cycles.
+func NSToMemCycles(ns float64) int {
+	return int(ns / memCycleNS)
+}
+
+// MemCyclesToNS converts memory cycles back to nanoseconds.
+func MemCyclesToNS(c int64) float64 {
+	return float64(c) * memCycleNS
+}

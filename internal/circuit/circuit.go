@@ -27,6 +27,8 @@ package circuit
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/core"
 )
 
 // Params holds the physical constants of the sensing model. All times are
@@ -104,7 +106,7 @@ func Default() Params {
 		FullRestoreMargin: 0.013890,
 		LeakFracPer64Ms:   0.2,
 		Margin:            0.639771,
-		RetentionMs:       64,
+		RetentionMs:       core.RetentionWindowMs,
 		Dt:                0.005,
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func newCtrl(t *testing.T, mode mcr.Mode, mut func(*Config)) *Controller {
@@ -309,7 +310,7 @@ func TestClosePagePrechargesIdleRows(t *testing.T) {
 }
 
 func TestMCRReadsCounted(t *testing.T) {
-	c := newCtrl(t, mcr.MustMode(4, 4, 1), nil)
+	c := newCtrl(t, mcrtest.Mode(4, 4, 1), nil)
 	c.EnqueueRead(0, 0, 0)
 	for now := int64(0); now < 400; now++ {
 		c.Tick(now)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 // TestRandomTrafficInvariants drives the controller with randomized
@@ -20,10 +21,10 @@ func TestRandomTrafficInvariants(t *testing.T) {
 	}
 	variants := []variant{
 		{"baseline", mcr.Off(), nil},
-		{"mcr-4x", mcr.MustMode(4, 4, 1), nil},
-		{"mcr-2of4x", mcr.MustMode(4, 2, 0.5), nil},
+		{"mcr-4x", mcrtest.Mode(4, 4, 1), nil},
+		{"mcr-2of4x", mcrtest.Mode(4, 2, 0.5), nil},
 		{"fcfs", mcr.Off(), func(c *Config) { c.Scheduler = FCFS }},
-		{"close-page", mcr.MustMode(4, 4, 1), func(c *Config) { c.RowPolicy = ClosePage }},
+		{"close-page", mcrtest.Mode(4, 4, 1), func(c *Config) { c.RowPolicy = ClosePage }},
 		{"permutation", mcr.Off(), func(c *Config) { c.Mapping = PermutationInterleave }},
 	}
 	for _, v := range variants {
@@ -88,7 +89,7 @@ func TestRandomTrafficInvariants(t *testing.T) {
 // TestRandomTrafficDeterminism: the same seed gives bit-identical stats.
 func TestRandomTrafficDeterminism(t *testing.T) {
 	run := func() (Stats, int64) {
-		c := newCtrl(t, mcr.MustMode(4, 4, 1), nil)
+		c := newCtrl(t, mcrtest.Mode(4, 4, 1), nil)
 		rng := rand.New(rand.NewSource(3))
 		var last int64
 		for now := int64(0); now < 30_000; now++ {

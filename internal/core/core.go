@@ -23,6 +23,12 @@ const (
 	CPUCyclesPerMemCycle = CPUClockMHz / MemClockMHz
 	// CacheLineBytes is the size of one column access (one cache line).
 	CacheLineBytes = 64
+	// RetentionWindowMs is the worst-case cell retention window in
+	// milliseconds (JEDEC normal temperature range, paper Sec. 2): every
+	// cell must be refreshed at least once per window. It lives here so
+	// both internal/circuit (below internal/timing) and the rest of the
+	// stack (via timing.RetentionWindowMs) share one definition.
+	RetentionWindowMs = 64
 )
 
 // Geometry describes the DRAM organization of one memory system.

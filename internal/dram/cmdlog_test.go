@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func TestCommandLogCapturesAndEvicts(t *testing.T) {
@@ -45,7 +46,7 @@ func TestCommandLogCapturesAndEvicts(t *testing.T) {
 }
 
 func TestCommandLogRecordsRefreshClass(t *testing.T) {
-	d := newDevice(t, mcr.MustMode(4, 4, 1), AllMechanisms())
+	d := newDevice(t, mcrtest.Mode(4, 4, 1), AllMechanisms())
 	log := NewCommandLog(8, nil)
 	d.SetHook(log)
 	d.Refresh(0, 0, 0, 0)

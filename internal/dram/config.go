@@ -155,7 +155,7 @@ func bandTimings(c Config, k, m int) (timing.Params, int, error) {
 		} else {
 			// Ablation path: non-uniform refresh spacing. Derive tRAS from
 			// the circuit model at the actual worst-case interval.
-			interval := mcr.MaxRefreshIntervalMs(c.Wiring, 13, k, 64) // 13-bit REF counter
+			interval := mcr.MaxRefreshIntervalMs(c.Wiring, 13, k, timing.RetentionWindowMs) // 13-bit REF counter
 			tras, err := circuit.Default().RestoreTime(k, interval)
 			if err != nil {
 				return timing.Params{}, 0, err

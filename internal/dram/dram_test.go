@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func smallGeometry() core.Geometry {
@@ -24,7 +25,7 @@ func newDevice(t *testing.T, mode mcr.Mode, mech Mechanisms) *Device {
 }
 
 func TestConfigValidate(t *testing.T) {
-	cfg := DefaultConfig(mcr.MustMode(4, 4, 1))
+	cfg := DefaultConfig(mcrtest.Mode(4, 4, 1))
 	if err := cfg.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestResolveTimingsBaseline(t *testing.T) {
 }
 
 func TestResolveTimingsAllMechanisms(t *testing.T) {
-	tim, err := ResolveTimings(DefaultConfig(mcr.MustMode(4, 4, 1)))
+	tim, err := ResolveTimings(DefaultConfig(mcrtest.Mode(4, 4, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +80,7 @@ func TestResolveTimingsAllMechanisms(t *testing.T) {
 
 // TestResolveTimingsMechanismToggles pins the ablation semantics.
 func TestResolveTimingsMechanismToggles(t *testing.T) {
-	mode := mcr.MustMode(4, 4, 1)
+	mode := mcrtest.Mode(4, 4, 1)
 
 	// Early-Access only: tRCD relaxed, tRAS *worse* than baseline (full
 	// restore of 4 cells = Table 3's 1/4x value), tRFC the 1/4x class.
@@ -114,7 +115,7 @@ func TestResolveTimingsMechanismToggles(t *testing.T) {
 
 	// Refresh-Skipping off on a 2/4x mode: cells actually get 4 refreshes,
 	// so EP may use the 16 ms budget (tRAS of 4/4x).
-	cfg = DefaultConfig(mcr.MustMode(4, 2, 1))
+	cfg = DefaultConfig(mcrtest.Mode(4, 2, 1))
 	cfg.Mech = Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true}
 	tim, err = ResolveTimings(cfg)
 	if err != nil {
@@ -138,13 +139,13 @@ func TestResolveTimingsMechanismToggles(t *testing.T) {
 // TestResolveTimingsKtoKWiring: the ablation wiring leaves almost no
 // Early-Precharge budget, so tRAS lands near the full-restore value.
 func TestResolveTimingsKtoKWiring(t *testing.T) {
-	cfg := DefaultConfig(mcr.MustMode(4, 4, 1))
+	cfg := DefaultConfig(mcrtest.Mode(4, 4, 1))
 	cfg.Wiring = mcr.KtoK
 	tim, err := ResolveTimings(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	uniform, err := ResolveTimings(DefaultConfig(mcr.MustMode(4, 4, 1)))
+	uniform, err := ResolveTimings(DefaultConfig(mcrtest.Mode(4, 4, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func TestActivateReadPrechargeTiming(t *testing.T) {
 }
 
 func TestMCRRowUsesRelaxedTiming(t *testing.T) {
-	d := newDevice(t, mcr.MustMode(4, 4, 0.5), AllMechanisms())
+	d := newDevice(t, mcrtest.Mode(4, 4, 0.5), AllMechanisms())
 	tim := d.Timings()
 	normal := core.Address{Row: 10} // lower half of the subarray
 	mcrRow := core.Address{Bank: 1, Row: 300}
@@ -224,7 +225,7 @@ func TestMCRRowUsesRelaxedTiming(t *testing.T) {
 }
 
 func TestIsRowHitTreatsClonesAsOneRow(t *testing.T) {
-	d := newDevice(t, mcr.MustMode(4, 4, 1), AllMechanisms())
+	d := newDevice(t, mcrtest.Mode(4, 4, 1), AllMechanisms())
 	d.Activate(core.Address{Row: 256}, 0)
 	for _, row := range []int{256, 257, 258, 259} {
 		if !d.IsRowHit(core.Address{Row: row}) {
@@ -367,7 +368,7 @@ func TestRefreshBlocksBanksForTRFC(t *testing.T) {
 }
 
 func TestRefreshSkippingCostsNothing(t *testing.T) {
-	d := newDevice(t, mcr.MustMode(4, 2, 1), AllMechanisms())
+	d := newDevice(t, mcrtest.Mode(4, 2, 1), AllMechanisms())
 	// Find a counter the scheduler skips.
 	sched := d.RefreshScheduler()
 	skipCtr := -1
@@ -392,7 +393,7 @@ func TestRefreshSkippingCostsNothing(t *testing.T) {
 		t.Fatalf("stats: %+v", st)
 	}
 	// With skipping disabled, the same REF must really run.
-	cfg := DefaultConfig(mcr.MustMode(4, 2, 1))
+	cfg := DefaultConfig(mcrtest.Mode(4, 2, 1))
 	cfg.Mech = Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true}
 	d2, err := New(cfg)
 	if err != nil {
@@ -405,7 +406,7 @@ func TestRefreshSkippingCostsNothing(t *testing.T) {
 }
 
 func TestFastRefreshUsesMCRClass(t *testing.T) {
-	d := newDevice(t, mcr.MustMode(4, 4, 1), AllMechanisms())
+	d := newDevice(t, mcrtest.Mode(4, 4, 1), AllMechanisms())
 	_, done := d.Refresh(0, 0, 0, 0)
 	if want := int64(core.NSToMemCycles(180)); done != want {
 		t.Fatalf("4/4x REF took %d cycles, want %d", done, want)
@@ -418,7 +419,7 @@ func TestFastRefreshUsesMCRClass(t *testing.T) {
 func TestSetModeReconfigures(t *testing.T) {
 	d := newDevice(t, mcr.Off(), Mechanisms{})
 	gen0 := d.ModeGeneration()
-	if err := d.SetMode(mcr.MustMode(4, 4, 1), 0); err != nil {
+	if err := d.SetMode(mcrtest.Mode(4, 4, 1), 0); err != nil {
 		t.Fatal(err)
 	}
 	if d.ModeGeneration() != gen0+1 {

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 // TestRandomCommandSequences drives the device with random *legal* command
@@ -13,7 +14,7 @@ import (
 // panics on legal commands, stats add up, and the open-row bookkeeping
 // stays coherent.
 func TestRandomCommandSequences(t *testing.T) {
-	modes := []mcr.Mode{mcr.Off(), mcr.MustMode(2, 2, 0.5), mcr.MustMode(4, 2, 1)}
+	modes := []mcr.Mode{mcr.Off(), mcrtest.Mode(2, 2, 0.5), mcrtest.Mode(4, 2, 1)}
 	for _, mode := range modes {
 		t.Run(mode.String(), func(t *testing.T) {
 			d := newDevice(t, mode, AllMechanisms())
@@ -96,7 +97,7 @@ func TestRandomCommandSequences(t *testing.T) {
 // TestEarliestNeverRegresses: for a closed bank, EarliestActivate is
 // monotone in `now` (a core scheduling assumption of the controller).
 func TestEarliestNeverRegresses(t *testing.T) {
-	d := newDevice(t, mcr.MustMode(4, 4, 1), AllMechanisms())
+	d := newDevice(t, mcrtest.Mode(4, 4, 1), AllMechanisms())
 	a := core.Address{Row: 77}
 	d.Activate(a, 0)
 	d.Precharge(a, int64(d.Timings().MCR.TRAS))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 // TestMEffClasses pins the restore-class selection the integrity checker
@@ -18,11 +19,11 @@ func TestMEffClasses(t *testing.T) {
 		want int
 	}{
 		{"baseline", mcr.Off(), Mechanisms{}, 0, 1},
-		{"mcr no EP", mcr.MustMode(4, 4, 1), Mechanisms{EarlyAccess: true}, 0, 1},
-		{"4/4x full", mcr.MustMode(4, 4, 1), AllMechanisms(), 0, 4},
-		{"2/4x with RS", mcr.MustMode(4, 2, 1), AllMechanisms(), 0, 2},
-		{"2/4x RS off", mcr.MustMode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true}, 0, 4},
-		{"normal row in 50%reg", mcr.MustMode(4, 4, 0.5), AllMechanisms(), 10, 1},
+		{"mcr no EP", mcrtest.Mode(4, 4, 1), Mechanisms{EarlyAccess: true}, 0, 1},
+		{"4/4x full", mcrtest.Mode(4, 4, 1), AllMechanisms(), 0, 4},
+		{"2/4x with RS", mcrtest.Mode(4, 2, 1), AllMechanisms(), 0, 2},
+		{"2/4x RS off", mcrtest.Mode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true}, 0, 4},
+		{"normal row in 50%reg", mcrtest.Mode(4, 4, 0.5), AllMechanisms(), 10, 1},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -37,18 +38,18 @@ func TestMEffClasses(t *testing.T) {
 // TestRefreshMEffClasses: the refresh restore class follows Fast-Refresh
 // and skipping independently of the activation class.
 func TestRefreshMEffClasses(t *testing.T) {
-	d := newDevice(t, mcr.MustMode(4, 2, 1), AllMechanisms())
+	d := newDevice(t, mcrtest.Mode(4, 2, 1), AllMechanisms())
 	if got := d.refreshMEff(4, 2); got != 2 {
 		t.Fatalf("refreshMEff(4,2) = %d, want 2", got)
 	}
 	if got := d.refreshMEff(1, 1); got != 1 {
 		t.Fatalf("normal refresh class = %d, want 1", got)
 	}
-	noFR := newDevice(t, mcr.MustMode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, RefreshSkipping: true})
+	noFR := newDevice(t, mcrtest.Mode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, RefreshSkipping: true})
 	if got := noFR.refreshMEff(4, 2); got != 1 {
 		t.Fatalf("without Fast-Refresh the REF restores fully, got class %d", got)
 	}
-	noRS := newDevice(t, mcr.MustMode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true})
+	noRS := newDevice(t, mcrtest.Mode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true})
 	if got := noRS.refreshMEff(4, 2); got != 4 {
 		t.Fatalf("without skipping a 2/4x band refreshes 4 times, got class %d", got)
 	}

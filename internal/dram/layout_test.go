@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func combinedLayout(t *testing.T) mcr.Layout {
@@ -155,7 +156,7 @@ func TestLayoutDeviceHasNoSimpleGenerator(t *testing.T) {
 
 func TestSetModeClearsLayout(t *testing.T) {
 	d := layoutDevice(t)
-	if err := d.SetMode(mcr.MustMode(2, 2, 1), 0); err != nil {
+	if err := d.SetMode(mcrtest.Mode(2, 2, 1), 0); err != nil {
 		t.Fatal(err)
 	}
 	if d.Config().Layout.Enabled() {

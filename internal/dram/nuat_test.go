@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 	"repro/internal/timing"
 )
 
@@ -39,7 +40,7 @@ func TestNUATConfigValidate(t *testing.T) {
 
 func TestNUATExcludesOtherSchemes(t *testing.T) {
 	n := DefaultNUATConfig()
-	cfg := DefaultConfig(mcr.MustMode(2, 2, 1))
+	cfg := DefaultConfig(mcrtest.Mode(2, 2, 1))
 	cfg.NUAT = &n
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("NUAT + MCR must be rejected")

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 	"repro/internal/timing"
 )
 
@@ -38,7 +39,7 @@ func TestTLConfigValidate(t *testing.T) {
 }
 
 func TestTLExcludesMCR(t *testing.T) {
-	cfg := DefaultConfig(mcr.MustMode(4, 4, 1))
+	cfg := DefaultConfig(mcrtest.Mode(4, 4, 1))
 	tl := DefaultTLConfig()
 	cfg.TL = &tl
 	if err := cfg.Validate(); err == nil {

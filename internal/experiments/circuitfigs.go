@@ -64,10 +64,10 @@ func Fig8() []Fig8Row {
 	for _, k := range []int{1, 2, 4} {
 		rows = append(rows, Fig8Row{
 			K:           k,
-			KtoK3Bit:    mcr.MaxRefreshIntervalMs(mcr.KtoK, 3, k, 64),
-			KtoN1K3Bit:  mcr.MaxRefreshIntervalMs(mcr.KtoN1K, 3, k, 64),
-			KtoK13Bit:   mcr.MaxRefreshIntervalMs(mcr.KtoK, 13, k, 64),
-			KtoN1K13Bit: mcr.MaxRefreshIntervalMs(mcr.KtoN1K, 13, k, 64),
+			KtoK3Bit:    mcr.MaxRefreshIntervalMs(mcr.KtoK, 3, k, timing.RetentionWindowMs),
+			KtoN1K3Bit:  mcr.MaxRefreshIntervalMs(mcr.KtoN1K, 3, k, timing.RetentionWindowMs),
+			KtoK13Bit:   mcr.MaxRefreshIntervalMs(mcr.KtoK, 13, k, timing.RetentionWindowMs),
+			KtoN1K13Bit: mcr.MaxRefreshIntervalMs(mcr.KtoN1K, 13, k, timing.RetentionWindowMs),
 		})
 	}
 	return rows

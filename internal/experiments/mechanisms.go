@@ -25,13 +25,21 @@ type MechanismCase struct {
 // case 1 Early-Access only, case 2 +Early-Precharge, case 3 +Fast-Refresh,
 // case 4 +Refresh-Skipping (which needs M < K to differ from case 3 —
 // mode [2/4x]).
-func MechanismCases() []MechanismCase {
-	return []MechanismCase{
-		{Name: "case1 EA", Mode: mcr.MustMode(4, 4, 1), Mech: dram.Mechanisms{EarlyAccess: true}},
-		{Name: "case2 EA+EP", Mode: mcr.MustMode(4, 4, 1), Mech: dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true}},
-		{Name: "case3 EA+EP+FR", Mode: mcr.MustMode(4, 4, 1), Mech: dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true}},
-		{Name: "case4 EA+EP+FR+RS", Mode: mcr.MustMode(4, 2, 1), Mech: dram.AllMechanisms()},
+func MechanismCases() ([]MechanismCase, error) {
+	full, err := mcr.NewMode(4, 4, 1)
+	if err != nil {
+		return nil, err
 	}
+	skip, err := mcr.NewMode(4, 2, 1)
+	if err != nil {
+		return nil, err
+	}
+	return []MechanismCase{
+		{Name: "case1 EA", Mode: full, Mech: dram.Mechanisms{EarlyAccess: true}},
+		{Name: "case2 EA+EP", Mode: full, Mech: dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true}},
+		{Name: "case3 EA+EP+FR", Mode: full, Mech: dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true}},
+		{Name: "case4 EA+EP+FR+RS", Mode: skip, Mech: dram.AllMechanisms()},
+	}, nil
 }
 
 // figSets picks the single-core or quad-core workload sets.
@@ -46,11 +54,15 @@ func figSets(o Options, multicore bool, workloads []string) ([][]string, []strin
 // (multicore=false) or the quad-core mixes (multicore=true).
 func Fig17(o Options, multicore bool, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
+	cases, err := MechanismCases()
+	if err != nil {
+		return nil, err
+	}
 	sets, names := figSets(o, multicore, workloads)
 	plan := &runplan.Plan{Name: "fig17"}
 	for wi, wl := range sets {
 		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
-		for _, mc := range MechanismCases() {
+		for _, mc := range cases {
 			cfg := baseConfig(o, multicore, wl, mc.Mode, mc.Mech, 0, isShared(wl))
 			plan.AddPair(names[wi], mc.Name, cfg, base)
 		}
@@ -82,10 +94,13 @@ func NormalizeTo(s *Sweep, reference string) (map[string]float64, error) {
 func Fig18(o Options, multicore bool, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
 	sets, names := figSets(o, multicore, workloads)
-	modes := []mcr.Mode{
-		mcr.MustMode(2, 2, 1),
-		mcr.MustMode(4, 4, 1),
-		mcr.MustMode(4, 2, 1),
+	var modes []mcr.Mode
+	for _, km := range [][2]int{{2, 2}, {4, 4}, {4, 2}} {
+		mode, err := mcr.NewMode(km[0], km[1], 1)
+		if err != nil {
+			return nil, err
+		}
+		modes = append(modes, mode)
 	}
 	plan := &runplan.Plan{Name: "fig18"}
 	for wi, wl := range sets {
@@ -134,13 +149,21 @@ func CombinedLayout(o Options, workloads []string) (*Sweep, error) {
 	if err != nil {
 		return nil, err
 	}
+	pure2, err := mcr.NewMode(2, 2, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	pure4, err := mcr.NewMode(4, 4, 0.5)
+	if err != nil {
+		return nil, err
+	}
 	variants := []variant{
 		{"pure [2/2x/50%reg]", func(c *sim.Config) {
-			c.DRAM.Mode = mcr.MustMode(2, 2, 0.5)
+			c.DRAM.Mode = pure2
 			c.AllocRatio = 0.2
 		}},
 		{"pure [4/4x/50%reg]", func(c *sim.Config) {
-			c.DRAM.Mode = mcr.MustMode(4, 4, 0.5)
+			c.DRAM.Mode = pure4
 			c.AllocRatio = 0.2
 		}},
 		{"combined 4x+2x", func(c *sim.Config) {
@@ -160,13 +183,21 @@ func CombinedLayout(o Options, workloads []string) (*Sweep, error) {
 // comparison isolates the timing trade-offs.
 func TLDRAMComparison(o Options, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
+	half2, err := mcr.NewMode(2, 2, 0.5)
+	if err != nil {
+		return nil, err
+	}
+	half4, err := mcr.NewMode(4, 4, 0.5)
+	if err != nil {
+		return nil, err
+	}
 	variants := []variant{
 		{"MCR [2/2x/50%reg]", func(c *sim.Config) {
-			c.DRAM.Mode = mcr.MustMode(2, 2, 0.5)
+			c.DRAM.Mode = half2
 			c.DRAM.Mech = dram.AllMechanisms()
 		}},
 		{"MCR [4/4x/50%reg]", func(c *sim.Config) {
-			c.DRAM.Mode = mcr.MustMode(4, 4, 0.5)
+			c.DRAM.Mode = half4
 			c.DRAM.Mech = dram.AllMechanisms()
 		}},
 		{"TL-DRAM-like 50% near", func(c *sim.Config) {
@@ -221,6 +252,9 @@ func Ablation(o Options, kind AblationKind, workloads []string) (*Sweep, error) 
 	default:
 		return nil, fmt.Errorf("experiments: unknown ablation kind %d", kind)
 	}
-	mode := mcr.MustMode(4, 4, 1)
+	mode, err := mcr.NewMode(4, 4, 1)
+	if err != nil {
+		return nil, err
+	}
 	return o.runSweep(variantPlan(o, "ablation", workloads, dram.AllMechanisms(), mode, variants))
 }

@@ -4,7 +4,7 @@ import (
 	"strings"
 	"testing"
 
-	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func TestSummarize(t *testing.T) {
@@ -30,7 +30,7 @@ func TestSummarize(t *testing.T) {
 
 func TestRepeatedComparison(t *testing.T) {
 	o := Options{Insts: 50_000, Seed: 1}
-	exec, readlat, edp, err := RepeatedComparison(o, "tigr", mcr.MustMode(4, 4, 1), 3)
+	exec, readlat, edp, err := RepeatedComparison(o, "tigr", mcrtest.Mode(4, 4, 1), 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,7 +53,7 @@ func TestRepeatedComparison(t *testing.T) {
 }
 
 func TestRepeatedComparisonRejectsZeroSeeds(t *testing.T) {
-	if _, _, _, err := RepeatedComparison(Options{}, "tigr", mcr.MustMode(2, 2, 1), 0); err == nil {
+	if _, _, _, err := RepeatedComparison(Options{}, "tigr", mcrtest.Mode(2, 2, 1), 0); err == nil {
 		t.Fatal("zero seeds must be rejected")
 	}
 }

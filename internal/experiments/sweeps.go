@@ -54,42 +54,47 @@ func eaEpOnly() dram.Mechanisms {
 	return dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true}
 }
 
-// ratioModes are the Fig 11/14 configurations: modes [2/2x] and [4/4x] at
-// MCR-to-total-row ratios 0.25, 0.5 and 1.0.
-func ratioModes() []struct {
+// labeledMode pairs a figure label with its MCR-mode.
+type labeledMode struct {
 	label string
 	mode  mcr.Mode
-} {
-	var out []struct {
-		label string
-		mode  mcr.Mode
-	}
+}
+
+// ratioModes are the Fig 11/14 configurations: modes [2/2x] and [4/4x] at
+// MCR-to-total-row ratios 0.25, 0.5 and 1.0.
+func ratioModes() ([]labeledMode, error) {
+	var out []labeledMode
 	for _, k := range []int{2, 4} {
 		for _, ratio := range []float64{0.25, 0.5, 1.0} {
-			out = append(out, struct {
-				label string
-				mode  mcr.Mode
-			}{
+			mode, err := mcr.NewMode(k, k, ratio)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, labeledMode{
 				label: fmt.Sprintf("[%d/%dx] ratio %.2f", k, k, ratio),
-				mode:  mcr.MustMode(k, k, ratio),
+				mode:  mode,
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // ratioPlan declares the Fig 11/14 sweep: every workload × ratio-mode
 // cell against the shared per-workload baseline.
-func ratioPlan(o Options, figure string, multicore bool, workloads [][]string, names []string) *runplan.Plan {
+func ratioPlan(o Options, figure string, multicore bool, workloads [][]string, names []string) (*runplan.Plan, error) {
+	modes, err := ratioModes()
+	if err != nil {
+		return nil, err
+	}
 	plan := &runplan.Plan{Name: figure}
 	for wi, wl := range workloads {
 		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
-		for _, m := range ratioModes() {
+		for _, m := range modes {
 			cfg := baseConfig(o, multicore, wl, m.mode, eaEpOnly(), 0, isShared(wl))
 			plan.AddPair(names[wi], m.label, cfg, base)
 		}
 	}
-	return plan
+	return plan, nil
 }
 
 // isShared reports whether a mix is a multithreaded (shared footprint) run.
@@ -124,21 +129,32 @@ func multiWorkloadSets(o Options) ([][]string, []string) {
 func Fig11(o Options, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
 	sets, names := singleWorkloadSets(workloads)
-	return o.runSweep(ratioPlan(o, "fig11", false, sets, names))
+	plan, err := ratioPlan(o, "fig11", false, sets, names)
+	if err != nil {
+		return nil, err
+	}
+	return o.runSweep(plan)
 }
 
 // Fig14 regenerates the multi-core MCR-ratio sensitivity figure.
 func Fig14(o Options) (*Sweep, error) {
 	o = o.withDefaults()
 	sets, names := multiWorkloadSets(o)
-	return o.runSweep(ratioPlan(o, "fig14", true, sets, names))
+	plan, err := ratioPlan(o, "fig14", true, sets, names)
+	if err != nil {
+		return nil, err
+	}
+	return o.runSweep(plan)
 }
 
 // allocPlan declares the Fig 12/15 sweep: mode [4/4x/50%reg] with
 // profile-based page allocation at 10/20/30%.
-func allocPlan(o Options, figure string, multicore bool, workloads [][]string, names []string) *runplan.Plan {
+func allocPlan(o Options, figure string, multicore bool, workloads [][]string, names []string) (*runplan.Plan, error) {
+	mode, err := mcr.NewMode(4, 4, 0.5)
+	if err != nil {
+		return nil, err
+	}
 	plan := &runplan.Plan{Name: figure}
-	mode := mcr.MustMode(4, 4, 0.5)
 	for wi, wl := range workloads {
 		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
 		for _, ratio := range []float64{0.1, 0.2, 0.3} {
@@ -146,59 +162,83 @@ func allocPlan(o Options, figure string, multicore bool, workloads [][]string, n
 			plan.AddPair(names[wi], fmt.Sprintf("alloc %.0f%%", ratio*100), cfg, base)
 		}
 	}
-	return plan
+	return plan, nil
 }
 
 // Fig12 regenerates the single-core profile-allocation figure.
 func Fig12(o Options, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
 	sets, names := singleWorkloadSets(workloads)
-	return o.runSweep(allocPlan(o, "fig12", false, sets, names))
+	plan, err := allocPlan(o, "fig12", false, sets, names)
+	if err != nil {
+		return nil, err
+	}
+	return o.runSweep(plan)
 }
 
 // Fig15 regenerates the multi-core profile-allocation figure.
 func Fig15(o Options) (*Sweep, error) {
 	o = o.withDefaults()
 	sets, names := multiWorkloadSets(o)
-	return o.runSweep(allocPlan(o, "fig15", true, sets, names))
+	plan, err := allocPlan(o, "fig15", true, sets, names)
+	if err != nil {
+		return nil, err
+	}
+	return o.runSweep(plan)
 }
 
 // modeAnalysisConfigs are the Fig 13/16 MCR-modes: every M/Kx variant at
 // region 25/50/75%.
-func modeAnalysisConfigs() []mcr.Mode {
+func modeAnalysisConfigs() ([]mcr.Mode, error) {
 	var out []mcr.Mode
 	for _, km := range [][2]int{{2, 2}, {2, 1}, {4, 4}, {4, 2}, {4, 1}} {
 		for _, reg := range []float64{0.25, 0.5, 0.75} {
-			out = append(out, mcr.MustMode(km[0], km[1], reg))
+			mode, err := mcr.NewMode(km[0], km[1], reg)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, mode)
 		}
 	}
-	return out
+	return out, nil
 }
 
 // modePlan declares the Fig 13/16 sweep: 10% allocation, all mechanisms,
 // 15 modes per workload sharing one memoized baseline each.
-func modePlan(o Options, figure string, multicore bool, workloads [][]string, names []string) *runplan.Plan {
+func modePlan(o Options, figure string, multicore bool, workloads [][]string, names []string) (*runplan.Plan, error) {
+	modes, err := modeAnalysisConfigs()
+	if err != nil {
+		return nil, err
+	}
 	plan := &runplan.Plan{Name: figure}
 	for wi, wl := range workloads {
 		base := baseConfig(o, multicore, wl, mcr.Off(), dram.Mechanisms{}, 0, isShared(wl))
-		for _, mode := range modeAnalysisConfigs() {
+		for _, mode := range modes {
 			cfg := baseConfig(o, multicore, wl, mode, dram.AllMechanisms(), 0.1, isShared(wl))
 			plan.AddPair(names[wi], mode.String(), cfg, base)
 		}
 	}
-	return plan
+	return plan, nil
 }
 
 // Fig13 regenerates the single-core MCR-mode analysis.
 func Fig13(o Options, workloads []string) (*Sweep, error) {
 	o = o.withDefaults()
 	sets, names := singleWorkloadSets(workloads)
-	return o.runSweep(modePlan(o, "fig13", false, sets, names))
+	plan, err := modePlan(o, "fig13", false, sets, names)
+	if err != nil {
+		return nil, err
+	}
+	return o.runSweep(plan)
 }
 
 // Fig16 regenerates the multi-core MCR-mode analysis.
 func Fig16(o Options) (*Sweep, error) {
 	o = o.withDefaults()
 	sets, names := multiWorkloadSets(o)
-	return o.runSweep(modePlan(o, "fig16", true, sets, names))
+	plan, err := modePlan(o, "fig16", true, sets, names)
+	if err != nil {
+		return nil, err
+	}
+	return o.runSweep(plan)
 }

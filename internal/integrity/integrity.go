@@ -21,6 +21,7 @@ import (
 	"fmt"
 
 	"repro/internal/mcr"
+	"repro/internal/timing"
 )
 
 // Config sets the checker's physical assumptions.
@@ -35,7 +36,7 @@ type Config struct {
 
 // DefaultConfig returns the paper's normal-temperature assumptions.
 func DefaultConfig() Config {
-	return Config{RetentionMs: 64, LeakFracPerWindow: 0.2}
+	return Config{RetentionMs: timing.RetentionWindowMs, LeakFracPerWindow: 0.2}
 }
 
 // Validate checks the configuration.

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func newChecker(t *testing.T, cfg Config, mode mcr.Mode) *Checker {
@@ -69,7 +70,7 @@ func TestEarlyPrechargeSafeWithMatchingInterval(t *testing.T) {
 		t.Fatalf("2x restore level = %g, want 0.9 (Sec. 3.3 example)", level2x)
 	}
 
-	safe := newChecker(t, cfg, mcr.MustMode(2, 2, 1))
+	safe := newChecker(t, cfg, mcrtest.Mode(2, 2, 1))
 	for tm := 0.0; tm <= 256; tm += 32 {
 		safe.RecordRefresh(0, 256, level2x, tm)
 	}
@@ -77,7 +78,7 @@ func TestEarlyPrechargeSafeWithMatchingInterval(t *testing.T) {
 		t.Fatalf("2x restore at 32 ms cadence must be safe: %v", safe.Violations())
 	}
 
-	unsafe := newChecker(t, cfg, mcr.MustMode(2, 2, 1))
+	unsafe := newChecker(t, cfg, mcrtest.Mode(2, 2, 1))
 	unsafe.RecordRefresh(0, 256, level2x, 0)
 	unsafe.RecordRefresh(0, 256, level2x, 64) // skipped one refresh
 	if unsafe.Ok() {
@@ -102,13 +103,13 @@ func TestRestoreLevelForMatchesPaperExample(t *testing.T) {
 // TestClonesShareEvents: refreshing any clone of an MCR recharges all of
 // them — the mechanism behind the K-times refresh rate.
 func TestClonesShareEvents(t *testing.T) {
-	c := newChecker(t, DefaultConfig(), mcr.MustMode(4, 4, 1))
+	c := newChecker(t, DefaultConfig(), mcrtest.Mode(4, 4, 1))
 	c.RecordActivate(0, 257, 1.0, 0) // touches rows 256..259
 	c.Sweep(60)
 	if !c.Ok() {
 		t.Fatalf("all clones were recharged at t=0: %v", c.Violations())
 	}
-	c2 := newChecker(t, DefaultConfig(), mcr.MustMode(4, 4, 0.25))
+	c2 := newChecker(t, DefaultConfig(), mcrtest.Mode(4, 4, 0.25))
 	c2.RecordActivate(0, 10, 1.0, 0) // normal row: only row 10 recharged
 	c2.Sweep(50)                     // in-window: clean
 	if !c2.Ok() {

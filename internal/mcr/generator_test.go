@@ -18,10 +18,10 @@ func TestNewGeneratorRejects(t *testing.T) {
 	if _, err := NewGenerator(Mode{K: 3, M: 1, Region: 0.5}, 512); err == nil {
 		t.Fatal("invalid mode must be rejected")
 	}
-	if _, err := NewGenerator(MustMode(2, 2, 0.5), 300); err == nil {
+	if _, err := NewGenerator(mustMode(2, 2, 0.5), 300); err == nil {
 		t.Fatal("non-power-of-two subarray must be rejected")
 	}
-	if _, err := NewGenerator(MustMode(2, 2, 0.5), 0); err == nil {
+	if _, err := NewGenerator(mustMode(2, 2, 0.5), 0); err == nil {
 		t.Fatal("zero subarray must be rejected")
 	}
 }
@@ -30,8 +30,8 @@ func TestNewGeneratorRejects(t *testing.T) {
 // subarrays, 50%reg means A8=1 (local index >= 256) and 25%reg means
 // A8A7=11 (local index >= 384).
 func TestRegionPlacement(t *testing.T) {
-	g50 := newGen(t, MustMode(4, 4, 0.5))
-	g25 := newGen(t, MustMode(4, 4, 0.25))
+	g50 := newGen(t, mustMode(4, 4, 0.5))
+	g25 := newGen(t, mustMode(4, 4, 0.25))
 	for local := 0; local < 512; local++ {
 		if got, want := g50.InMCR(local), local>>8&1 == 1; got != want {
 			t.Fatalf("50%%reg: InMCR(%d) = %v, want %v (A8 rule)", local, got, want)
@@ -43,7 +43,7 @@ func TestRegionPlacement(t *testing.T) {
 }
 
 func TestRegionAppliesPerSubarray(t *testing.T) {
-	g := newGen(t, MustMode(2, 2, 0.5))
+	g := newGen(t, mustMode(2, 2, 0.5))
 	// The same local pattern must repeat in every subarray.
 	for _, base := range []int{0, 512, 1024, 8192} {
 		if g.InMCR(base + 100) {
@@ -56,7 +56,7 @@ func TestRegionAppliesPerSubarray(t *testing.T) {
 }
 
 func TestRegionFullAndOff(t *testing.T) {
-	full := newGen(t, MustMode(4, 4, 1))
+	full := newGen(t, mustMode(4, 4, 1))
 	off := newGen(t, Off())
 	for _, row := range []int{0, 1, 255, 256, 511, 512, 700} {
 		if !full.InMCR(row) {
@@ -72,14 +72,14 @@ func TestRegionFullAndOff(t *testing.T) {
 }
 
 func TestInMCRNegativeRow(t *testing.T) {
-	g := newGen(t, MustMode(4, 4, 1))
+	g := newGen(t, mustMode(4, 4, 1))
 	if g.InMCR(-1) {
 		t.Fatal("negative rows are never in an MCR")
 	}
 }
 
 func TestMCRBaseAndClones(t *testing.T) {
-	g := newGen(t, MustMode(4, 4, 1))
+	g := newGen(t, mustMode(4, 4, 1))
 	if got := g.MCRBase(0x1f7); got != 0x1f4 {
 		t.Fatalf("MCRBase(0x1f7) = %#x, want 0x1f4", got)
 	}
@@ -94,7 +94,7 @@ func TestMCRBaseAndClones(t *testing.T) {
 		}
 	}
 	// Normal row: just itself.
-	gHalf := newGen(t, MustMode(4, 4, 0.5))
+	gHalf := newGen(t, mustMode(4, 4, 0.5))
 	if clones := gHalf.CloneRows(10); len(clones) != 1 || clones[0] != 10 {
 		t.Fatalf("normal row clones = %v, want [10]", clones)
 	}
@@ -104,14 +104,14 @@ func TestMCRBaseAndClones(t *testing.T) {
 }
 
 func TestSameMCR(t *testing.T) {
-	g := newGen(t, MustMode(2, 2, 1))
+	g := newGen(t, mustMode(2, 2, 1))
 	if !g.SameMCR(256, 257) {
 		t.Fatal("rows 256/257 form one 2x MCR")
 	}
 	if g.SameMCR(257, 258) {
 		t.Fatal("rows 257/258 are different MCRs")
 	}
-	gHalf := newGen(t, MustMode(2, 2, 0.5))
+	gHalf := newGen(t, mustMode(2, 2, 0.5))
 	if gHalf.SameMCR(0, 1) {
 		t.Fatal("normal rows are never in the same MCR")
 	}
@@ -120,7 +120,7 @@ func TestSameMCR(t *testing.T) {
 // TestMCRAddressNotation pins the paper's Fig 4 example: in a 4-bit row
 // address space, MCR address 00XX covers rows 0000..0011.
 func TestMCRAddressNotation(t *testing.T) {
-	g, err := NewGenerator(MustMode(4, 4, 1), 16)
+	g, err := NewGenerator(mustMode(4, 4, 1), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func TestMCRAddressNotation(t *testing.T) {
 // clone wordlines.
 func TestInternalAddressSelectsClones(t *testing.T) {
 	const nbits = 9
-	for _, mode := range []Mode{MustMode(2, 2, 1), MustMode(4, 4, 1)} {
+	for _, mode := range []Mode{mustMode(2, 2, 1), mustMode(4, 4, 1)} {
 		g, err := NewGenerator(mode, 512)
 		if err != nil {
 			t.Fatal(err)
@@ -168,7 +168,7 @@ func TestInternalAddressSelectsClones(t *testing.T) {
 // TestInternalAddressNormalRow: outside the region exactly one wordline
 // fires.
 func TestInternalAddressNormalRow(t *testing.T) {
-	g := newGen(t, MustMode(4, 4, 0.5))
+	g := newGen(t, mustMode(4, 4, 0.5))
 	a, na := g.InternalAddress(37, 9)
 	count := 0
 	for wl := 0; wl < 512; wl++ {
@@ -186,7 +186,7 @@ func TestInternalAddressNormalRow(t *testing.T) {
 
 // Property: MCRBase is idempotent and clones always share it.
 func TestMCRBaseQuick(t *testing.T) {
-	g := newGen(t, MustMode(4, 4, 0.75))
+	g := newGen(t, mustMode(4, 4, 0.75))
 	err := quick.Check(func(raw uint16) bool {
 		row := int(raw) % (512 * 16)
 		base := g.MCRBase(row)
@@ -208,7 +208,7 @@ func TestMCRBaseQuick(t *testing.T) {
 // Property: the region fraction of rows detected matches the mode's L.
 func TestRegionFractionMatchesMode(t *testing.T) {
 	for _, reg := range []float64{0.25, 0.5, 0.75, 1} {
-		g := newGen(t, MustMode(2, 2, reg))
+		g := newGen(t, mustMode(2, 2, reg))
 		in := 0
 		for row := 0; row < 512; row++ {
 			if g.InMCR(row) {

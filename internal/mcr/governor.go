@@ -75,13 +75,17 @@ func NewGovernor(cfg GovernorConfig, startK int) (*Governor, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	four, err := NewMode(4, 4, 1)
+	if err != nil {
+		return nil, err
+	}
+	two, err := NewMode(2, 2, 1)
+	if err != nil {
+		return nil, err
+	}
 	g := &Governor{
-		cfg: cfg,
-		ladder: []Mode{
-			MustMode(4, 4, 1),
-			MustMode(2, 2, 1),
-			Off(),
-		},
+		cfg:    cfg,
+		ladder: []Mode{four, two, Off()},
 	}
 	for i, m := range g.ladder {
 		if m.K == startK {

@@ -41,7 +41,7 @@ func TestLayoutOfMode(t *testing.T) {
 	if LayoutOf(Off()).Enabled() {
 		t.Fatal("off mode has an empty layout")
 	}
-	l := LayoutOf(MustMode(4, 2, 0.5))
+	l := LayoutOf(mustMode(4, 2, 0.5))
 	if len(l.Bands) != 1 || l.Bands[0] != (Band{K: 4, M: 2, Region: 0.5}) {
 		t.Fatalf("layout of mode wrong: %+v", l.Bands)
 	}
@@ -244,7 +244,7 @@ func TestLayoutSchedulerRejects(t *testing.T) {
 // TestLayoutMatchesGeneratorForSingleBand: a single-band layout behaves
 // identically to the simple Generator.
 func TestLayoutMatchesGeneratorForSingleBand(t *testing.T) {
-	mode := MustMode(4, 4, 0.5)
+	mode := mustMode(4, 4, 0.5)
 	simple, err := NewGenerator(mode, 512)
 	if err != nil {
 		t.Fatal(err)

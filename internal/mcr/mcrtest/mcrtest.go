@@ -1,0 +1,23 @@
+// Package mcrtest provides test-only constructors for MCR-mode
+// configurations. Production code must build modes with mcr.NewMode and
+// propagate the validation error (mcrlint's panicpolicy check enforces
+// this); tests and benchmarks with compile-time-constant configurations
+// use this package instead of sprinkling error handling everywhere.
+package mcrtest
+
+import (
+	"fmt"
+
+	"repro/internal/mcr"
+)
+
+// Mode builds a validated [M/Kx/L%reg] mode and panics on invalid input.
+// Only for tests: the panic turns a typo in a constant test configuration
+// into an immediate failure.
+func Mode(k, m int, region float64) mcr.Mode {
+	md, err := mcr.NewMode(k, m, region)
+	if err != nil {
+		panic(fmt.Sprintf("mcrtest: invalid constant mode: %v", err)) //mcrlint:allow panicpolicy test-only constructor
+	}
+	return md
+}

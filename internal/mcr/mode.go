@@ -9,6 +9,8 @@ package mcr
 import (
 	"fmt"
 	"math/bits"
+
+	"repro/internal/timing"
 )
 
 // Mode is one MCR-mode configuration [M/Kx/L%reg] (paper Table 1):
@@ -31,16 +33,6 @@ func NewMode(k, m int, region float64) (Mode, error) {
 		return Mode{}, err
 	}
 	return md, nil
-}
-
-// MustMode is NewMode that panics on invalid input; for tests and tables of
-// constant configurations.
-func MustMode(k, m int, region float64) Mode {
-	md, err := NewMode(k, m, region)
-	if err != nil {
-		panic(err)
-	}
-	return md
 }
 
 // Validate checks the Table 1 constraints on the configuration.
@@ -81,7 +73,9 @@ func (md Mode) SkipRatio() float64 {
 
 // RefreshIntervalMs returns the worst-case refresh interval of a cell in
 // one of this mode's MCRs under the K-to-N-1-K wiring: 64/M ms.
-func (md Mode) RefreshIntervalMs() float64 { return 64 / float64(md.M) }
+func (md Mode) RefreshIntervalMs() float64 {
+	return timing.RetentionWindowMs / float64(md.M)
+}
 
 // String renders the paper's "[M/Kx/L%reg]" notation.
 func (md Mode) String() string {

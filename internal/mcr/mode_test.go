@@ -37,7 +37,7 @@ func TestModeValidate(t *testing.T) {
 }
 
 func TestModeString(t *testing.T) {
-	if got := MustMode(2, 4/2, 0.75).String(); got != "mode [2/2x/75%reg]" {
+	if got := mustMode(2, 4/2, 0.75).String(); got != "mode [2/2x/75%reg]" {
 		t.Fatalf("String() = %q", got)
 	}
 	if got := Off().String(); got != "mode [off]" {
@@ -46,7 +46,7 @@ func TestModeString(t *testing.T) {
 }
 
 func TestModeHelpers(t *testing.T) {
-	m := MustMode(4, 2, 1)
+	m := mustMode(4, 2, 1)
 	if !m.Enabled() {
 		t.Fatal("4x mode must be enabled")
 	}
@@ -62,7 +62,7 @@ func TestModeHelpers(t *testing.T) {
 	if m.LgK() != 2 {
 		t.Fatalf("LgK(4) = %d, want 2", m.LgK())
 	}
-	if MustMode(2, 2, 1).LgK() != 1 {
+	if mustMode(2, 2, 1).LgK() != 1 {
 		t.Fatal("LgK(2) must be 1")
 	}
 }
@@ -76,10 +76,10 @@ func TestNewModeRejects(t *testing.T) {
 func TestMustModePanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("MustMode must panic on invalid input")
+			t.Fatal("mustMode must panic on invalid input")
 		}
 	}()
-	MustMode(3, 1, 0.5)
+	mustMode(3, 1, 0.5)
 }
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
@@ -115,7 +115,7 @@ func TestModeRegister(t *testing.T) {
 		t.Fatal("register must start disabled")
 	}
 	g0 := r.Generation()
-	m := MustMode(4, 4, 1)
+	m := mustMode(4, 4, 1)
 	if err := r.Set(m); err != nil {
 		t.Fatal(err)
 	}
@@ -154,4 +154,14 @@ func TestEncodeDecodeQuick(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+}
+
+// mustMode builds a validated mode for constant test configurations,
+// failing the build of the test fixture immediately on a typo.
+func mustMode(k, m int, region float64) Mode {
+	md, err := NewMode(k, m, region)
+	if err != nil {
+		panic(err)
+	}
+	return md
 }

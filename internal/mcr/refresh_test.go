@@ -90,7 +90,7 @@ func newSched(t *testing.T, mode Mode, wiring Wiring, rows int) *Scheduler {
 }
 
 func TestNewSchedulerRejects(t *testing.T) {
-	g, err := NewGenerator(MustMode(2, 2, 1), 512)
+	g, err := NewGenerator(mustMode(2, 2, 1), 512)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +151,7 @@ func TestRefreshSkipFig9(t *testing.T) {
 		{4, 0}, {2, 0.5}, {1, 0.75},
 	}
 	for _, c := range cases {
-		s := newSched(t, MustMode(4, c.m, 1), KtoN1K, 32768)
+		s := newSched(t, mustMode(4, c.m, 1), KtoN1K, 32768)
 		st := s.Window()
 		if st.Total != RefsPerWindow {
 			t.Fatalf("window total = %d", st.Total)
@@ -169,7 +169,7 @@ func TestRefreshSkipFig9(t *testing.T) {
 // spaced under K-to-N-1-K wiring — that is exactly what justifies the 64/M
 // leakage budget.
 func TestSkipSpacingUniform(t *testing.T) {
-	s := newSched(t, MustMode(4, 2, 1), KtoN1K, 32768)
+	s := newSched(t, mustMode(4, 2, 1), KtoN1K, 32768)
 	// Track the REF counters that actually refresh the MCR of row 0.
 	var kept []int
 	for c := 0; c < RefsPerWindow; c++ {
@@ -195,7 +195,7 @@ func TestSkipSpacingUniform(t *testing.T) {
 
 // TestPartialRegionSkipping: only MCR-region REFs are ever skipped.
 func TestPartialRegionSkipping(t *testing.T) {
-	s := newSched(t, MustMode(4, 1, 0.5), KtoN1K, 32768)
+	s := newSched(t, mustMode(4, 1, 0.5), KtoN1K, 32768)
 	st := s.Window()
 	if st.MCR != RefsPerWindow/2 {
 		t.Fatalf("50%%reg: MCR REFs = %d, want %d", st.MCR, RefsPerWindow/2)
@@ -215,7 +215,7 @@ func TestPartialRegionSkipping(t *testing.T) {
 // TestPlanHomogeneous: every row of one REF shares the MCR membership the
 // plan reports (what makes per-command tRFC classes sound).
 func TestPlanHomogeneous(t *testing.T) {
-	g, err := NewGenerator(MustMode(4, 4, 0.25), 512)
+	g, err := NewGenerator(mustMode(4, 4, 0.25), 512)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +239,7 @@ func TestPlanHomogeneous(t *testing.T) {
 
 // TestPlanCounterWraps: Plan accepts any counter value.
 func TestPlanCounterWraps(t *testing.T) {
-	s := newSched(t, MustMode(2, 2, 1), KtoN1K, 32768)
+	s := newSched(t, mustMode(2, 2, 1), KtoN1K, 32768)
 	a, b := s.Plan(5), s.Plan(5+RefsPerWindow)
 	if a.Counter != b.Counter || a.InMCR != b.InMCR || a.Skipped != b.Skipped {
 		t.Fatal("Plan must be periodic in the window length")
@@ -249,7 +249,7 @@ func TestPlanCounterWraps(t *testing.T) {
 // TestKtoKSkipSpacing: under the ablation wiring the kept refresh of a
 // 1/2x MCR still happens once per window.
 func TestKtoKSkipCount(t *testing.T) {
-	s := newSched(t, MustMode(2, 1, 1), KtoK, 32768)
+	s := newSched(t, mustMode(2, 1, 1), KtoK, 32768)
 	st := s.Window()
 	if got := float64(st.Skipped) / float64(st.Total); got != 0.5 {
 		t.Fatalf("1/2x skip fraction = %g, want 0.5", got)

@@ -5,7 +5,11 @@
 
 package power
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/timing"
+)
 
 // IDD holds the datasheet currents of one DRAM device (one chip), in
 // milliamps, plus the operating point. Names follow JEDEC:
@@ -36,7 +40,9 @@ func DefaultIDD() IDD {
 		Chips: 8,
 		IDD0:  65, IDD2N: 32, IDD3N: 42, IDD2P: 12,
 		IDD4R: 150, IDD4W: 155, IDD5B: 200,
-		TRCNS: 48.75, TRFCNS: 260, TBurstNS: 5,
+		TRCNS:    timing.TRASBaselineNS + timing.TRPBaselineNS,
+		TRFCNS:   timing.TRFC4GbNS,
+		TBurstNS: 5,
 	}
 }
 

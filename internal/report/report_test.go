@@ -8,6 +8,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 	"repro/internal/sim"
 )
 
@@ -28,7 +29,7 @@ func runQuick(t *testing.T, mode mcr.Mode, check bool) (sim.Config, *sim.Result)
 }
 
 func TestWriteReportSections(t *testing.T) {
-	cfg, res := runQuick(t, mcr.MustMode(4, 4, 1), true)
+	cfg, res := runQuick(t, mcrtest.Mode(4, 4, 1), true)
 	var buf bytes.Buffer
 	if err := Write(&buf, cfg, res); err != nil {
 		t.Fatal(err)
@@ -69,7 +70,7 @@ func TestWriteReportBaseline(t *testing.T) {
 
 func TestCompareBlock(t *testing.T) {
 	_, base := runQuick(t, mcr.Off(), false)
-	_, variant := runQuick(t, mcr.MustMode(4, 4, 1), false)
+	_, variant := runQuick(t, mcrtest.Mode(4, 4, 1), false)
 	var buf bytes.Buffer
 	if err := Compare(&buf, "mode [4/4x/100%reg]", base, variant); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,67 @@
+package runplan
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A zero or negative wall time (clock granularity on very short runs) must
+// report zero throughput, not Inf or NaN. TestRunStatsThroughput in
+// runplan_test.go covers the positive path.
+func TestRunStatsZeroWall(t *testing.T) {
+	for _, wall := range []time.Duration{0, -time.Millisecond} {
+		s := RunStats{Wall: wall, MemCycles: 1000, Retired: 1000}
+		if got := s.CyclesPerSec(); got != 0 {
+			t.Errorf("Wall=%v: CyclesPerSec = %g, want 0", wall, got)
+		}
+		if got := s.InstsPerSec(); got != 0 {
+			t.Errorf("Wall=%v: InstsPerSec = %g, want 0", wall, got)
+		}
+	}
+}
+
+func TestLineSink(t *testing.T) {
+	var sb strings.Builder
+	sink := LineSink(&sb)
+	sink.Event(Event{
+		Plan:     "fig11",
+		Kind:     KindBaseline,
+		Workload: "comm2",
+		Config:   "4/4x",
+		Done:     3,
+		Total:    12,
+		Pending:  9,
+		Stats:    RunStats{Wall: 500 * time.Millisecond, MemCycles: 1_000_000, Retired: 3_000_000},
+	})
+	line := sb.String()
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatalf("line sink output must end in a newline: %q", line)
+	}
+	for _, part := range []string{
+		"fig11",
+		"[3/12]",
+		"comm2",
+		"4/4x",
+		string(KindBaseline),
+		"500 ms",       // wall time in milliseconds
+		"2.00 Mcyc/s",  // 1e6 cycles / 0.5 s
+		"6.00 Minst/s", // 3e6 insts / 0.5 s
+		"9 pending",
+	} {
+		if !strings.Contains(line, part) {
+			t.Errorf("line sink output missing %q: %q", part, line)
+		}
+	}
+}
+
+// SinkFunc must forward the event it was handed, unmodified.
+func TestSinkFunc(t *testing.T) {
+	var got Event
+	sink := SinkFunc(func(e Event) { got = e })
+	want := Event{Plan: "p", Kind: KindVariant, Done: 1, Total: 2, Pending: 1}
+	sink.Event(want)
+	if got != want {
+		t.Errorf("SinkFunc forwarded %+v, want %+v", got, want)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 // TestScheduleRetentionSafe: with the checker attached, a full run under
@@ -13,7 +14,7 @@ import (
 // retention violations — the end-to-end form of the paper's Sec. 3.3
 // safety argument.
 func TestScheduleRetentionSafe(t *testing.T) {
-	for _, mode := range []mcr.Mode{mcr.Off(), mcr.MustMode(4, 4, 1), mcr.MustMode(4, 2, 1)} {
+	for _, mode := range []mcr.Mode{mcr.Off(), mcrtest.Mode(4, 4, 1), mcrtest.Mode(4, 2, 1)} {
 		cfg := quickCfg("stream", mode)
 		ic := integrity.DefaultConfig()
 		cfg.Integrity = &ic
@@ -32,7 +33,7 @@ func TestScheduleRetentionSafe(t *testing.T) {
 // checker must fire — proving the safety above is a real check, not a
 // vacuous pass.
 func TestCheckerDetectsImpossibleRetention(t *testing.T) {
-	cfg := quickCfg("stream", mcr.MustMode(4, 4, 1))
+	cfg := quickCfg("stream", mcrtest.Mode(4, 4, 1))
 	cfg.InstsPerCore = 300_000 // long enough to span ~1 ms of memory time
 	ic := integrity.Config{RetentionMs: 0.05, LeakFracPerWindow: 0.2}
 	cfg.Integrity = &ic
@@ -80,7 +81,7 @@ func TestCheckerWorksWithCombinedLayout(t *testing.T) {
 // refresh plans weighted by the per-class tRFC energy scaling.
 func TestFootnote10RefreshPower(t *testing.T) {
 	windowEnergy := func(m int) float64 {
-		cfg := dram.DefaultConfig(mcr.MustMode(4, m, 0.75))
+		cfg := dram.DefaultConfig(mcrtest.Mode(4, m, 0.75))
 		dev, err := dram.New(cfg)
 		if err != nil {
 			t.Fatal(err)

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 func TestLatencyHistogramBuckets(t *testing.T) {
@@ -73,7 +74,7 @@ func TestMCRShiftsLatencyDistribution(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Run(quickCfg("tigr", mcr.MustMode(4, 4, 1)))
+	m, err := Run(quickCfg("tigr", mcrtest.Mode(4, 4, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 // twoChannelGeometry doubles the channel count at the same capacity per
@@ -45,7 +46,7 @@ func TestTwoChannelMCRStillWins(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := quickCfg("tigr", mcr.MustMode(4, 4, 1))
+	m := quickCfg("tigr", mcrtest.Mode(4, 4, 1))
 	m.DRAM.Geom = twoChannelGeometry()
 	r, err := Run(m)
 	if err != nil {

@@ -164,7 +164,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	start := time.Now()
+	start := time.Now() //mcrlint:allow determinism wall-clock instrumentation (Result.Wall), never results
 	res, err := runLoop(ctx, cfg, dev, ctrl, cores, checker)
 	if err != nil {
 		return nil, err

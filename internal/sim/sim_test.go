@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/mcr"
+	"repro/internal/mcr/mcrtest"
 )
 
 // quickCfg is a small, fast single-core configuration.
@@ -89,7 +90,7 @@ func TestMCRImprovesMemoryBoundWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Run(quickCfg("tigr", mcr.MustMode(4, 4, 1)))
+	m, err := Run(quickCfg("tigr", mcrtest.Mode(4, 4, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,11 +116,11 @@ func TestMCRImprovesMemoryBoundWorkload(t *testing.T) {
 
 // Test4x4xBeats2x2x pins the mode ordering of Fig 11.
 func Test4x4xBeats2x2x(t *testing.T) {
-	m2, err := Run(quickCfg("mummer", mcr.MustMode(2, 2, 1)))
+	m2, err := Run(quickCfg("mummer", mcrtest.Mode(2, 2, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	m4, err := Run(quickCfg("mummer", mcr.MustMode(4, 4, 1)))
+	m4, err := Run(quickCfg("mummer", mcrtest.Mode(4, 4, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func Test4x4xBeats2x2x(t *testing.T) {
 func TestRegionRatioMonotone(t *testing.T) {
 	prev := int64(1 << 62)
 	for _, reg := range []float64{0.25, 1.0} {
-		cfg := quickCfg("tigr", mcr.MustMode(4, 4, reg))
+		cfg := quickCfg("tigr", mcrtest.Mode(4, 4, reg))
 		cfg.DRAM.Mech = dram.Mechanisms{EarlyAccess: true, EarlyPrecharge: true}
 		res, err := Run(cfg)
 		if err != nil {
@@ -146,7 +147,7 @@ func TestRegionRatioMonotone(t *testing.T) {
 }
 
 func TestProfileAllocationConcentratesRequests(t *testing.T) {
-	cfg := quickCfg("comm2", mcr.MustMode(4, 4, 0.5))
+	cfg := quickCfg("comm2", mcrtest.Mode(4, 4, 0.5))
 	cfg.InstsPerCore = 400_000
 	cfg.AllocRatio = 0.1
 	res, err := Run(cfg)
@@ -170,11 +171,11 @@ func TestProfileAllocationConcentratesRequests(t *testing.T) {
 }
 
 func TestRefreshSkippingReducesRefreshes(t *testing.T) {
-	full, err := Run(quickCfg("stream", mcr.MustMode(4, 4, 1)))
+	full, err := Run(quickCfg("stream", mcrtest.Mode(4, 4, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
-	skip, err := Run(quickCfg("stream", mcr.MustMode(4, 1, 1)))
+	skip, err := Run(quickCfg("stream", mcrtest.Mode(4, 1, 1)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,7 +191,7 @@ func TestRefreshSkippingReducesRefreshes(t *testing.T) {
 }
 
 func TestMultiCoreRunCompletes(t *testing.T) {
-	cfg := quickCfg("comm2", mcr.MustMode(4, 4, 1))
+	cfg := quickCfg("comm2", mcrtest.Mode(4, 4, 1))
 	cfg.Workloads = []string{"comm2", "leslie", "black", "mummer"}
 	cfg.DRAM.Geom = core.MultiCoreGeometry()
 	cfg.InstsPerCore = 60_000
@@ -225,7 +226,7 @@ func TestSharedFootprintMultithreaded(t *testing.T) {
 // EA+EP ≥ EA alone (case 2 vs case 1).
 func TestMechanismOrdering(t *testing.T) {
 	run := func(mech dram.Mechanisms) int64 {
-		cfg := quickCfg("tigr", mcr.MustMode(4, 4, 1))
+		cfg := quickCfg("tigr", mcrtest.Mode(4, 4, 1))
 		cfg.DRAM.Mech = mech
 		res, err := Run(cfg)
 		if err != nil {

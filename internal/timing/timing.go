@@ -15,6 +15,26 @@ import (
 	"repro/internal/core"
 )
 
+// RetentionWindowMs is the canonical worst-case cell retention window in
+// milliseconds (64 ms at JEDEC normal temperature): the refresh machinery,
+// the integrity checker and the Fig 8 wiring analysis all derive their
+// intervals from it. Defined in internal/core (which sits below
+// internal/circuit in the import graph) and re-exported here with the rest
+// of the timing vocabulary.
+const RetentionWindowMs = core.RetentionWindowMs
+
+// Normal-row (1/1x) nanosecond baselines of the simulated DDR3-1600
+// device, Table 3 top row. Every other package that needs one of these
+// values must reference it here — mcrlint's timingliteral check flags
+// re-typed copies.
+const (
+	TRCDBaselineNS = 13.75 // ACTIVATE -> READ/WRITE
+	TRASBaselineNS = 35.0  // ACTIVATE -> PRECHARGE
+	TRPBaselineNS  = 13.75 // PRECHARGE -> ACTIVATE
+	TRFC1GbNS      = 110.0 // REFRESH cycle time, 1 Gb device
+	TRFC4GbNS      = 260.0 // REFRESH cycle time, 4 Gb device
+)
+
 // Params is one complete set of DRAM timing constraints in memory cycles.
 type Params struct {
 	TRCD   int // ACTIVATE -> READ/WRITE
@@ -45,9 +65,9 @@ type DDR3NS struct {
 // Baseline1x returns the normal-row nanosecond timings for the given device
 // density (Table 3: tRFC is 110 ns for 1 Gb chips, 260 ns for 4 Gb chips).
 func Baseline1x(fourGb bool) DDR3NS {
-	ns := DDR3NS{TRCD: 13.75, TRAS: 35, TRP: 13.75, TRFC: 110}
+	ns := DDR3NS{TRCD: TRCDBaselineNS, TRAS: TRASBaselineNS, TRP: TRPBaselineNS, TRFC: TRFC1GbNS}
 	if fourGb {
-		ns.TRFC = 260
+		ns.TRFC = TRFC4GbNS
 	}
 	return ns
 }

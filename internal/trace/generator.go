@@ -1,5 +1,14 @@
 // The synthetic trace generator: turns a Workload profile into a
 // deterministic stream of (instruction gap, op, line address) records.
+//
+// Determinism contract: all randomness flows through one *rand.Rand built
+// from rand.NewSource(seed ^ hashName(w.Name)) — never the global
+// math/rand source, which is process-seeded and would make runs
+// unrepeatable. Two generators constructed with equal (Workload, seed,
+// totalInsts, baseRow) yield byte-identical record streams; the run-plan
+// engine's baseline memoization and sweep caching depend on that, and
+// mcrlint's determinism check enforces the no-global-rand half
+// mechanically.
 
 package trace
 

@@ -315,3 +315,59 @@ func TestProfileMatchesGeneratorRows(t *testing.T) {
 		}
 	}
 }
+
+// The generator's determinism contract (see the package comment in
+// generator.go) requires the workload name to be folded into the seed, so
+// two workloads sharing a base seed still draw distinct streams.
+func TestWorkloadNameSeedsDiverge(t *testing.T) {
+	wa, err := ByName("comm2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := wa
+	wb.Name = "comm2-renamed"
+	a, err := New(wa, 7, 100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(wb, 7, 100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		ra, oka := a.Next()
+		rb, okb := b.Next()
+		if !oka || !okb {
+			break
+		}
+		if ra != rb {
+			return
+		}
+	}
+	t.Fatal("workloads differing only by name must draw distinct streams from the same base seed")
+}
+
+// Profile must be as repeatable as the stream it summarizes: equal inputs
+// give equal per-row counts.
+func TestProfileDeterministic(t *testing.T) {
+	w, err := ByName("comm2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Profile(w, 7, 200_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Profile(w, 7, 200_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("profile row counts differ: %d vs %d rows", len(a), len(b))
+	}
+	for row, n := range a {
+		if b[row] != n {
+			t.Fatalf("row %d: %d vs %d accesses", row, n, b[row])
+		}
+	}
+}
