@@ -20,6 +20,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/experiments"
+	"repro/internal/fault"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
 	"repro/internal/report"
@@ -97,6 +98,10 @@ func main() {
 		alloc4    = flag.Float64("alloc4", 0.05, "combined layout: hottest fraction into the 4x band")
 		alloc2    = flag.Float64("alloc2", 0.15, "combined layout: next fraction into the 2x band")
 		check     = flag.Bool("check", false, "attach the retention-integrity checker")
+		faultFrac = flag.Float64("fault-weak", 0, "inject a seeded weak-cell population at this fraction (0 disables)")
+		faultSeed = flag.Int64("fault-seed", 0, "fault-injection seed (0 = the run seed)")
+		degrade   = flag.Int("degrade-after", 0, "ECC events per rung before downgrading the MCR mode (0 = no degradation)")
+		quar      = flag.Bool("quarantine", false, "demote failing clone gangs to 1x timing on their first ECC event")
 		compare   = flag.Bool("compare", false, "also run the MCR-off baseline (pooled) and print the comparison")
 		jobs      = flag.Int("jobs", 0, "-compare simulations in flight (0 = GOMAXPROCS)")
 		verbose   = flag.Bool("v", false, "print per-simulation progress with throughput stats")
@@ -147,6 +152,19 @@ func main() {
 	if *check {
 		ic := integrity.DefaultConfig()
 		cfg.Integrity = &ic
+	}
+	if *faultFrac > 0 {
+		cfg.Fault = &fault.Config{
+			Seed:         *faultSeed,
+			WeakFraction: *faultFrac,
+			// Compressed retention tails so weak rows observably fail
+			// within CLI-sized runs (see internal/fault).
+			TailMinFrac: 0.0005,
+			TailMaxFrac: 0.005,
+		}
+	}
+	if *degrade > 0 || *quar {
+		cfg.Resilience = &sim.ResilienceConfig{DowngradeAfter: *degrade, Quarantine: *quar}
 	}
 	if *multicore {
 		cfg.DRAM.Geom = core.MultiCoreGeometry()
@@ -208,6 +226,10 @@ func main() {
 		float64(res.MemCycles)/res.Wall.Seconds()/1e6,
 		float64(res.RetiredInsts)/res.Wall.Seconds()/1e6,
 		float64(res.Wall.Microseconds())/1e3)
+	if rs := res.Resilience; rs != nil {
+		fmt.Printf("resilience        : %d ECC events, %d quarantined rows, %d downgrades (%s -> %s)\n",
+			rs.ECCEvents, rs.QuarantinedRows, rs.Downgrades, rs.InitialMode, rs.FinalMode)
+	}
 	if *check {
 		if len(res.Integrity) == 0 {
 			fmt.Println("integrity         : OK (no retention violations)")

@@ -20,6 +20,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/mcr"
@@ -34,7 +35,7 @@ var validFigs = []int{3, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18}
 var validMetrics = []string{"exec", "readlat", "edp"}
 
 // validExtras are the beyond-the-paper studies.
-var validExtras = []string{"combined", "tldram", "wiring", "scheduler", "rowpolicy", "repeat"}
+var validExtras = []string{"combined", "tldram", "wiring", "scheduler", "rowpolicy", "repeat", "resilience"}
 
 // validateMetric rejects unknown -metric values with the valid choices.
 func validateMetric(m string) error {
@@ -74,13 +75,17 @@ func main() {
 	var (
 		fig     = flag.Int("fig", 0, "figure/table number: 3 (Table 3), 8, 10, 11, 12, 13, 14, 15, 16, 17, 18")
 		all     = flag.Bool("all", false, "regenerate everything")
-		extra   = flag.String("extra", "", `beyond-the-paper study: "combined", "tldram", "wiring", "scheduler", "rowpolicy" or "repeat"`)
+		extra   = flag.String("extra", "", `beyond-the-paper study: "combined", "tldram", "wiring", "scheduler", "rowpolicy", "repeat" or "resilience"`)
 		insts   = flag.Int64("insts", 0, "instructions per core (0 = default)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		seeds   = flag.Int("seeds", 5, "seeds for -extra repeat")
 		jobs    = flag.Int("jobs", 0, "simulations in flight (0 = GOMAXPROCS, 1 = serial)")
 		metric  = flag.String("metric", "exec", "sweep metric: exec, readlat or edp")
 		verbose = flag.Bool("v", false, "print per-simulation progress with throughput stats")
+
+		keepGoing   = flag.Bool("keep-going", false, "record per-cell failures and finish the sweep instead of stopping at the first error")
+		retries     = flag.Int("retries", 0, "additional attempts for a failed simulation")
+		specTimeout = flag.Duration("spec-timeout", 0, "wall-clock bound per simulation attempt (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -91,7 +96,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
-	opt := experiments.Options{Insts: *insts, Seed: *seed, Jobs: *jobs, Context: ctx}
+	opt := experiments.Options{
+		Insts: *insts, Seed: *seed, Jobs: *jobs, Context: ctx,
+		KeepGoing: *keepGoing, Retries: *retries, SpecTimeout: *specTimeout,
+		RetryBackoff: 100 * time.Millisecond,
+	}
 	if *verbose {
 		opt.Progress = runplan.LineSink(os.Stderr)
 	}
@@ -238,6 +247,14 @@ func runExtra(name string, opt experiments.Options, metric string, seeds int) er
 			return err
 		}
 		return writeBoth(s, metric)
+	case "resilience":
+		rows, err := experiments.ResilienceStudy(opt, []string{"tigr", "stream", "comm2"}, nil)
+		if len(rows) > 0 {
+			if werr := experiments.WriteResilience(os.Stdout, rows); werr != nil {
+				return werr
+			}
+		}
+		return err
 	case "repeat":
 		mode, err := mcr.NewMode(4, 4, 1)
 		if err != nil {

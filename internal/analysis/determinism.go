@@ -1,10 +1,12 @@
 // Check determinism: simulation results must be a pure function of the
 // configuration and seed. The run-plan engine memoizes baselines and
 // promises byte-identical sweep output, so internal/sim,
-// internal/experiments and internal/runplan must not consult wall-clock
-// time, draw from the global (unseeded) math/rand source, or let random
-// map iteration order leak into anything ordered — appends, printed
-// output, or floating-point accumulation. Wall-time throughput
+// internal/experiments, internal/runplan and internal/fault (the seeded
+// fault-injection models, which must derive every weak cell and VRT
+// schedule purely from the seed) must not consult wall-clock time, draw
+// from the global (unseeded) math/rand source, or let random map
+// iteration order leak into anything ordered — appends, printed output,
+// or floating-point accumulation. Wall-time throughput
 // instrumentation is a deliberate exception, annotated
 // //mcrlint:allow determinism at each site.
 
@@ -33,7 +35,7 @@ var globalRandFuncs = map[string]bool{
 }
 
 func runDeterminism(pass *Pass) {
-	if !pass.InPackage("sim") && !pass.InPackage("experiments") && !pass.InPackage("runplan") {
+	if !pass.InPackage("sim") && !pass.InPackage("experiments") && !pass.InPackage("runplan") && !pass.InPackage("fault") {
 		return
 	}
 	for _, f := range pass.Files {

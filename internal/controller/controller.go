@@ -13,6 +13,7 @@ import (
 	"repro/internal/alloc"
 	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/mcr"
 )
 
 // SchedulerPolicy selects the command scheduling algorithm.
@@ -141,6 +142,7 @@ type Stats struct {
 	MCRReads         int64 // column reads served from MCR rows
 	TotalReadLatency int64 // memory cycles, arrival to data completion
 	ForcedRefreshes  int64
+	ModeChanges      int64 // MRS mode switches applied (degradation path)
 }
 
 // Controller drives one dram.Device.
@@ -161,6 +163,10 @@ type Controller struct {
 	completions []Completion
 	stats       Stats
 	tREFI       int64
+
+	// pendingMode, when non-nil, is a requested MRS mode switch the
+	// controller is draining toward (see modechange.go).
+	pendingMode *mcr.Mode
 }
 
 // New builds a controller over a device, applying the given row allocation

@@ -9,6 +9,11 @@ import "repro/internal/core"
 // most one DRAM command per channel. Completed reads become Completions
 // (fetch them with DrainCompletions).
 func (c *Controller) Tick(now int64) {
+	if c.pendingMode != nil {
+		// A mode switch is draining: no new work until the MRS issues.
+		c.tickModeChange(now)
+		return
+	}
 	for ch := 0; ch < c.geom.Channels; ch++ {
 		c.tickChannel(ch, now)
 	}

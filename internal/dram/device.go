@@ -63,6 +63,11 @@ type Device struct {
 	stats Stats
 	hook  Hook
 
+	// quarantined rows are demoted to conventional 1x timing and full
+	// restore (graceful degradation after a detected fault); nil until the
+	// first Quarantine call. Survives SetMode.
+	quarantined map[int]bool
+
 	// perBankActs counts activates per flattened bank id, for balance
 	// diagnostics.
 	perBankActs []int64
@@ -166,6 +171,9 @@ func (d *Device) RowParams(row int) (*timing.Params, bool) {
 	}
 	if d.nuat != nil {
 		return d.nuat.params(row), false
+	}
+	if d.quarantined[row] {
+		return &d.tim.Normal, false
 	}
 	k := d.lgen.KAt(row)
 	if k > 1 {

@@ -27,7 +27,7 @@ func (d *Device) SetHook(h Hook) { d.hook = h }
 // Early-Precharge is on, in which case the band's K — reduced to the
 // band's M when Refresh-Skipping is honored.
 func (d *Device) MEff(row int) int {
-	if !d.cfg.Mech.EarlyPrecharge {
+	if !d.cfg.Mech.EarlyPrecharge || d.quarantined[row] {
 		return 1
 	}
 	if d.cfg.Mech.RefreshSkipping {

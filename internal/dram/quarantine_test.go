@@ -1,0 +1,63 @@
+package dram
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/mcr/mcrtest"
+)
+
+func TestQuarantineDemotesGangTo1x(t *testing.T) {
+	dev, err := New(DefaultConfig(mcrtest.Mode(4, 4, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := 16
+	gang := dev.LayoutGenerator().CloneRows(row)
+	if len(gang) != 4 {
+		t.Fatalf("fixture: expected a 4-wide gang, got %v", gang)
+	}
+
+	// Before: MCR timing and Early-Precharge restore class.
+	if _, inMCR := dev.RowParams(row); !inMCR {
+		t.Fatal("row should be MCR before quarantine")
+	}
+	if dev.MEff(row) == 1 {
+		t.Fatal("row should have a reduced restore class before quarantine")
+	}
+
+	if added := dev.Quarantine(row); added != len(gang) {
+		t.Fatalf("Quarantine added %d rows, want the whole gang (%d)", added, len(gang))
+	}
+	if added := dev.Quarantine(gang[len(gang)-1]); added != 0 {
+		t.Fatalf("re-quarantining the gang added %d rows, want 0", added)
+	}
+
+	for _, r := range gang {
+		if !dev.IsQuarantined(r) {
+			t.Fatalf("gang member %d not quarantined", r)
+		}
+		p, inMCR := dev.RowParams(r)
+		if inMCR {
+			t.Fatalf("quarantined row %d still reports MCR timing", r)
+		}
+		if got, want := p.TRCD, dev.Timings().Normal.TRCD; got != want {
+			t.Fatalf("quarantined row %d tRCD = %d, want normal %d", r, got, want)
+		}
+		if dev.MEff(r) != 1 {
+			t.Fatalf("quarantined row %d restore class %d, want 1 (full restore)", r, dev.MEff(r))
+		}
+	}
+	if got := dev.QuarantinedRows(); !reflect.DeepEqual(got, gang) {
+		t.Fatalf("QuarantinedRows = %v, want %v", got, gang)
+	}
+
+	// Unrelated rows keep their MCR class.
+	other := row + 8
+	if dev.IsQuarantined(other) {
+		t.Fatalf("row %d should be untouched", other)
+	}
+	if _, inMCR := dev.RowParams(other); !inMCR {
+		t.Fatalf("row %d lost its MCR timing", other)
+	}
+}

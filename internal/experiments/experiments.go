@@ -9,6 +9,7 @@ package experiments
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/controller"
 	"repro/internal/core"
@@ -42,6 +43,17 @@ type Options struct {
 	// MaxMixes, when positive, truncates the multi-core workload list to
 	// its first MaxMixes entries (benchmarks and CI use this).
 	MaxMixes int
+	// KeepGoing records failures per sweep cell and keeps executing
+	// instead of cancelling the plan at the first error; the joined
+	// per-cell errors are returned after the surviving results.
+	KeepGoing bool
+	// SpecTimeout bounds each simulation attempt's wall-clock time
+	// (0 = unbounded); Retries grants failed simulations additional
+	// attempts, waiting RetryBackoff before the first retry and doubling
+	// it on each subsequent one. See runplan.Executor.
+	SpecTimeout  time.Duration
+	Retries      int
+	RetryBackoff time.Duration
 }
 
 // withDefaults fills unset options.
@@ -61,7 +73,11 @@ func Quick() Options { return Options{Insts: 150_000, Seed: 1} }
 // execute runs a plan through the pooled executor configured by the
 // options and returns results in spec order.
 func (o Options) execute(plan *runplan.Plan) ([]runplan.Result, error) {
-	ex := runplan.Executor{Jobs: o.Jobs, Sink: o.Progress}
+	ex := runplan.Executor{
+		Jobs: o.Jobs, Sink: o.Progress,
+		SpecTimeout: o.SpecTimeout, Retries: o.Retries,
+		RetryBackoff: o.RetryBackoff, KeepGoing: o.KeepGoing,
+	}
 	return ex.Execute(o.Context, plan)
 }
 
@@ -69,15 +85,20 @@ func (o Options) execute(plan *runplan.Plan) ([]runplan.Result, error) {
 // per spec, each reduced against its (memoized) baseline.
 func (o Options) runSweep(plan *runplan.Plan) (*Sweep, error) {
 	results, err := o.execute(plan)
-	if err != nil {
+	if err != nil && !o.KeepGoing {
 		return nil, err
 	}
 	s := &Sweep{Figure: plan.Name}
 	for _, r := range results {
+		if r.Run == nil {
+			continue // failed under KeepGoing; reported via err
+		}
 		s.Points = append(s.Points, SweepPoint{Workload: r.Workload, Config: r.Config, Reduction: reduce(r.Base, r.Run)})
 	}
 	s.averageByConfig()
-	return s, nil
+	// KeepGoing: return the partial sweep together with the joined
+	// per-cell errors so callers can render what survived.
+	return s, err
 }
 
 // baseConfig assembles the shared simulation configuration.

@@ -16,18 +16,58 @@ type DeviceAdapter struct {
 	cfg     Config
 	checker *Checker
 	geom    core.Geometry
+	dev     *dram.Device
+}
+
+// deviceCloner resolves clone gangs through the device's *current* layout
+// generator on every call: an MRS (SetMode) replaces the generator, and a
+// checker holding the stale one would mis-group rows after a mode change.
+type deviceCloner struct{ dev *dram.Device }
+
+func (c deviceCloner) CloneRows(row int) []int {
+	return c.dev.LayoutGenerator().CloneRows(row)
 }
 
 // Attach builds an adapter for the device and installs it as the hook.
 func Attach(dev *dram.Device, cfg Config) (*DeviceAdapter, error) {
-	checker, err := New(cfg, dev.LayoutGenerator())
+	return AttachWithFaults(dev, cfg, nil)
+}
+
+// AttachWithFaults builds an adapter whose checker consults the given
+// fault model (nil for nominal cells) and installs it as the device hook.
+// Callers must pass a true nil for "no faults", never a typed-nil pointer.
+func AttachWithFaults(dev *dram.Device, cfg Config, fm FaultModel) (*DeviceAdapter, error) {
+	checker, err := New(cfg, deviceCloner{dev})
 	if err != nil {
 		return nil, err
 	}
-	a := &DeviceAdapter{cfg: cfg, checker: checker, geom: dev.Config().Geom}
+	if fm != nil {
+		checker.SetFaults(fm)
+	}
+	checker.SetModeContext(
+		func() string {
+			if c := dev.Config(); c.Layout.Enabled() {
+				return c.Layout.String()
+			}
+			return dev.Config().Mode.String()
+		},
+		func(row int) int {
+			if dev.IsQuarantined(row) {
+				return 1
+			}
+			if k := dev.LayoutGenerator().KAt(row); k > 1 {
+				return k
+			}
+			return 1
+		},
+	)
+	a := &DeviceAdapter{cfg: cfg, checker: checker, geom: dev.Config().Geom, dev: dev}
 	dev.SetHook(a)
 	return a, nil
 }
+
+// Checker exposes the underlying checker (resilience polling).
+func (a *DeviceAdapter) Checker() *Checker { return a.checker }
 
 // ms converts a memory cycle count to milliseconds.
 func ms(now int64) float64 { return core.MemCyclesToNS(now) / 1e6 }
@@ -47,14 +87,20 @@ func (a *DeviceAdapter) Precharged(addr core.Address, row int, mEff int, now int
 }
 
 // Refreshed implements dram.Hook: the batch rows (in every bank of the
-// rank) were restored to the refresh class level.
+// rank) were restored to the refresh class level — except quarantined
+// rows, which always refresh at full 1x restore.
 func (a *DeviceAdapter) Refreshed(ch, rank int, rows []int, mEff int, now int64) {
 	level := a.cfg.RestoreLevelFor(mEff)
+	full := a.cfg.RestoreLevelFor(1)
 	t := ms(now)
 	for b := 0; b < a.geom.Banks; b++ {
 		bankID := core.Address{Channel: ch, Rank: rank, Bank: b}.BankID(a.geom)
 		for _, r := range rows {
-			a.checker.RecordRestore(bankID, r, level, t)
+			l := level
+			if a.dev.IsQuarantined(r) {
+				l = full
+			}
+			a.checker.RecordRestore(bankID, r, l, t)
 		}
 	}
 }

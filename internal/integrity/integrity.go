@@ -50,20 +50,63 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// ViolationKind distinguishes how a cell failed.
+type ViolationKind int
+
+// Violation kinds.
+const (
+	// KindRetention: the stored charge drooped below the retention floor
+	// before the next refresh or activation.
+	KindRetention ViolationKind = iota
+	// KindSenseMargin: the charge-sharing ΔV at the reduced MCR tRCD fell
+	// under the sense amplifier's guard band on activation.
+	KindSenseMargin
+)
+
+// String names the kind.
+func (k ViolationKind) String() string {
+	switch k {
+	case KindRetention:
+		return "retention"
+	case KindSenseMargin:
+		return "sense-margin"
+	}
+	return fmt.Sprintf("ViolationKind(%d)", int(k))
+}
+
 // Violation records one detected retention failure.
 type Violation struct {
+	Kind      ViolationKind
 	Bank      int // flattened bank id
 	Row       int
 	AtMs      float64 // when the charge crossed the floor
 	Level     float64 // restore level at the last charge event
 	SinceMs   float64 // time since that event
 	FloorFrac float64
+	// K is the clone-gang width of the row when it failed (1 outside MCR
+	// bands or for quarantined rows); Mode is the device mode string at
+	// that time (e.g. "mode [4/4x/100%reg]"). Both are diagnostic context
+	// for degradation decisions and logs.
+	K    int
+	Mode string
 }
 
 // Error renders the violation.
 func (v Violation) Error() string {
-	return fmt.Sprintf("integrity: bank %d row %d lost data at %.3f ms (level %.4f, %.3f ms since restore, floor %.4f)",
-		v.Bank, v.Row, v.AtMs, v.Level, v.SinceMs, v.FloorFrac)
+	mode := v.Mode
+	if mode == "" {
+		mode = "mode [?]"
+	}
+	k := v.K
+	if k < 1 {
+		k = 1
+	}
+	if v.Kind == KindSenseMargin {
+		return fmt.Sprintf("integrity: bank %d row %d sense-margin failure at %.3f ms (K=%d, %s)",
+			v.Bank, v.Row, v.AtMs, k, mode)
+	}
+	return fmt.Sprintf("integrity: bank %d row %d lost data at %.3f ms (level %.4f, %.3f ms since restore, floor %.4f, K=%d, %s)",
+		v.Bank, v.Row, v.AtMs, v.Level, v.SinceMs, v.FloorFrac, k, mode)
 }
 
 // rowState is the last charge event of one row.
@@ -79,6 +122,18 @@ type Cloner interface {
 	CloneRows(row int) []int
 }
 
+// FaultModel supplies injected cell weaknesses to the checker. The
+// interface lives here (not in internal/fault) so integrity stays
+// import-cycle-free; *fault.Model implements it.
+type FaultModel interface {
+	// LeakMultiplier scales the nominal leakage of a row ganged k-wide
+	// over [fromMs, toMs]; 1 means nominal.
+	LeakMultiplier(row, k int, fromMs, toMs float64) float64
+	// SenseFault reports whether the row's activation in a k-wide gang
+	// fails its sense margin.
+	SenseFault(row, k int) bool
+}
+
 // Checker shadows one bank group's rows.
 type Checker struct {
 	cfg   Config
@@ -88,6 +143,15 @@ type Checker struct {
 	// floor is the minimum survivable charge level: what a fully restored
 	// cell decays to over one full window.
 	floor float64
+	// faults, when non-nil, injects cell weaknesses into the leak model.
+	faults FaultModel
+	// modeLabel/kOf supply MCR context for violations; defaults report
+	// "" / K=1 until SetModeContext is called.
+	modeLabel func() string
+	kOf       func(row int) int
+	// senseSeen dedups sense-margin findings: a broken sense path fails
+	// every activation, one violation per (bank, row) is the signal.
+	senseSeen map[[2]int]bool
 }
 
 // New builds a checker; gen supplies the MCR geometry so clone rows share
@@ -107,6 +171,37 @@ func New(cfg Config, gen Cloner) (*Checker, error) {
 	}, nil
 }
 
+// SetFaults installs a fault model; nil (the default) means every cell is
+// nominal. Callers must not pass a typed-nil pointer.
+func (c *Checker) SetFaults(fm FaultModel) { c.faults = fm }
+
+// SetModeContext installs the providers of MCR context recorded on each
+// violation: label yields the current device mode string, kOf the current
+// clone-gang width of a row. Either may be nil to keep the default
+// ("" / K=1).
+func (c *Checker) SetModeContext(label func() string, kOf func(row int) int) {
+	c.modeLabel, c.kOf = label, kOf
+}
+
+// kFor returns the clone-gang width used for fault queries and context.
+func (c *Checker) kFor(row int) int {
+	if c.kOf == nil {
+		return 1
+	}
+	if k := c.kOf(row); k > 1 {
+		return k
+	}
+	return 1
+}
+
+// mode returns the current mode label ("" when no provider is set).
+func (c *Checker) mode() string {
+	if c.modeLabel == nil {
+		return ""
+	}
+	return c.modeLabel()
+}
+
 // state returns (allocating) the row's shadow state.
 func (c *Checker) state(bank, row int) *rowState {
 	br := c.rows[bank]
@@ -123,12 +218,16 @@ func (c *Checker) state(bank, row int) *rowState {
 }
 
 // levelAt returns the charge level of a row at time t, and whether it has
-// any recorded history.
-func (c *Checker) levelAt(st *rowState, tMs float64) (float64, bool) {
+// any recorded history. The nominal leak is scaled by the fault model's
+// multiplier for the row (1 when no model is installed).
+func (c *Checker) levelAt(row int, st *rowState, tMs float64) (float64, bool) {
 	if !st.ever {
 		return 0, false
 	}
 	leakRate := c.cfg.LeakFracPerWindow / c.cfg.RetentionMs
+	if c.faults != nil {
+		leakRate *= c.faults.LeakMultiplier(row, c.kFor(row), st.atMs, tMs)
+	}
 	return st.level - leakRate*(tMs-st.atMs), true
 }
 
@@ -136,16 +235,41 @@ func (c *Checker) levelAt(st *rowState, tMs float64) (float64, bool) {
 // otherwise.
 func (c *Checker) check(bank, row int, tMs float64) {
 	st := c.state(bank, row)
-	level, ok := c.levelAt(st, tMs)
+	level, ok := c.levelAt(row, st, tMs)
 	if !ok {
 		return // never written: nothing to lose
 	}
 	if level < c.floor-1e-12 {
 		c.found = append(c.found, Violation{
-			Bank: bank, Row: row, AtMs: tMs,
+			Kind: KindRetention, Bank: bank, Row: row, AtMs: tMs,
 			Level: st.level, SinceMs: tMs - st.atMs, FloorFrac: c.floor,
+			K: c.kFor(row), Mode: c.mode(),
 		})
 	}
+}
+
+// checkSense records a sense-margin failure for a row's first faulty
+// activation in an MCR gang.
+func (c *Checker) checkSense(bank, row int, tMs float64) {
+	if c.faults == nil {
+		return
+	}
+	k := c.kFor(row)
+	if k <= 1 || !c.faults.SenseFault(row, k) {
+		return
+	}
+	key := [2]int{bank, row}
+	if c.senseSeen[key] {
+		return
+	}
+	if c.senseSeen == nil {
+		c.senseSeen = make(map[[2]int]bool)
+	}
+	c.senseSeen[key] = true
+	c.found = append(c.found, Violation{
+		Kind: KindSenseMargin, Bank: bank, Row: row, AtMs: tMs,
+		K: k, Mode: c.mode(),
+	})
 }
 
 // CheckActivate verifies the cells of a row (and its clones) still hold
@@ -155,6 +279,7 @@ func (c *Checker) CheckActivate(bank, row int, tMs float64) {
 	for _, r := range c.gen.CloneRows(row) {
 		c.check(bank, r, tMs)
 	}
+	c.checkSense(bank, row, tMs)
 }
 
 // RecordRestore notes that a row (and its clones) was recharged to the
@@ -192,6 +317,10 @@ func (c *Checker) Sweep(tMs float64) {
 
 // Violations returns everything found so far.
 func (c *Checker) Violations() []Violation { return c.found }
+
+// ViolationCount returns the number of violations found so far; cheaper
+// than Violations for polling.
+func (c *Checker) ViolationCount() int { return len(c.found) }
 
 // Ok reports whether the schedule has been retention-safe.
 func (c *Checker) Ok() bool { return len(c.found) == 0 }

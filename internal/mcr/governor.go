@@ -16,6 +16,12 @@ type GovernorConfig struct {
 	// TightenBelow is the utilization below which the governor is willing
 	// to step to a faster (smaller-capacity) mode — with migration.
 	TightenBelow float64
+	// DowngradeAfter is the number of integrity violations (modeled ECC
+	// events) at the current rung that triggers a reliability relax —
+	// ganged modes stress weak cells K-fold, so sustained violations mean
+	// the rung is too aggressive for this device's cell population.
+	// 0 disables the violation-triggered path.
+	DowngradeAfter int
 }
 
 // DefaultGovernorConfig uses the natural hysteresis band: relax when the
@@ -32,6 +38,9 @@ func (c GovernorConfig) Validate() error {
 	}
 	if c.TightenBelow < 0 || c.TightenBelow >= c.RelaxAbove {
 		return fmt.Errorf("mcr: TightenBelow %g must be below RelaxAbove %g", c.TightenBelow, c.RelaxAbove)
+	}
+	if c.DowngradeAfter < 0 {
+		return fmt.Errorf("mcr: DowngradeAfter must be non-negative, got %d", c.DowngradeAfter)
 	}
 	return nil
 }
@@ -67,6 +76,9 @@ type Governor struct {
 	// ladder is ordered fastest (least capacity) first.
 	ladder []Mode
 	pos    int // current rung
+	// violations counts integrity violations observed at the current rung
+	// (reset whenever the rung changes).
+	violations int
 }
 
 // NewGovernor builds a governor starting at the given rung of the default
@@ -129,6 +141,7 @@ func (g *Governor) Apply(d Decision, migrated bool) (Mode, error) {
 			return g.Mode(), fmt.Errorf("mcr: already at full capacity")
 		}
 		g.pos++
+		g.violations = 0
 	case Tighten:
 		if g.pos == 0 {
 			return g.Mode(), fmt.Errorf("mcr: already at the fastest mode")
@@ -137,8 +150,30 @@ func (g *Governor) Apply(d Decision, migrated bool) (Mode, error) {
 			return g.Mode(), fmt.Errorf("mcr: tightening requires migrating pages out of soon-inaccessible rows")
 		}
 		g.pos--
+		g.violations = 0
 	default:
 		return g.Mode(), fmt.Errorf("mcr: unknown decision %d", d)
 	}
 	return g.Mode(), nil
 }
+
+// RecordViolations feeds n fresh integrity violations (modeled ECC
+// events) into the reliability path and returns the resulting decision:
+// Relax once the current rung has accumulated DowngradeAfter violations
+// and a roomier rung exists, Stay otherwise. Like Evaluate it does not
+// change the rung — commit with Apply. The per-rung counter persists
+// until the rung changes, so sustained violations keep pushing the
+// ladder toward off.
+func (g *Governor) RecordViolations(n int) Decision {
+	if n <= 0 || g.cfg.DowngradeAfter <= 0 {
+		return Stay
+	}
+	g.violations += n
+	if g.violations >= g.cfg.DowngradeAfter && g.pos < len(g.ladder)-1 {
+		return Relax
+	}
+	return Stay
+}
+
+// ViolationCount returns the violations accumulated at the current rung.
+func (g *Governor) ViolationCount() int { return g.violations }

@@ -1,0 +1,152 @@
+package mcr
+
+import "testing"
+
+func newResilGov(t *testing.T, startK, downgradeAfter int) *Governor {
+	t.Helper()
+	cfg := DefaultGovernorConfig()
+	cfg.DowngradeAfter = downgradeAfter
+	g, err := NewGovernor(cfg, startK)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGovernorConfigDowngradeAfterValidate(t *testing.T) {
+	cfg := DefaultGovernorConfig()
+	cfg.DowngradeAfter = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative DowngradeAfter must be rejected")
+	}
+	cfg.DowngradeAfter = 0
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("0 (disabled) must validate: %v", err)
+	}
+}
+
+// TestGovernorViolationTriggeredRelax: accumulating DowngradeAfter
+// violations at a rung yields Relax; applying it resets the counter.
+func TestGovernorViolationTriggeredRelax(t *testing.T) {
+	g := newResilGov(t, 4, 3)
+	if d := g.RecordViolations(1); d != Stay {
+		t.Fatalf("1/3 violations: decision %v, want stay", d)
+	}
+	if d := g.RecordViolations(1); d != Stay {
+		t.Fatalf("2/3 violations: decision %v, want stay", d)
+	}
+	if d := g.RecordViolations(1); d != Relax {
+		t.Fatalf("3/3 violations: decision %v, want relax", d)
+	}
+	m, err := g.Apply(Relax, false) // reliability relax needs no migration
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 2 {
+		t.Fatalf("after relax K = %d, want 2", m.K)
+	}
+	if g.ViolationCount() != 0 {
+		t.Fatalf("counter %d after rung change, want 0", g.ViolationCount())
+	}
+}
+
+// TestGovernorSustainedViolationsWalkLadderToOff: repeated downgrades
+// under sustained violations end at the off mode, where further
+// violations no longer ask for anything.
+func TestGovernorSustainedViolationsWalkLadderToOff(t *testing.T) {
+	g := newResilGov(t, 4, 2)
+	downgrades := 0
+	for i := 0; i < 20; i++ {
+		if g.RecordViolations(1) != Relax {
+			continue
+		}
+		if _, err := g.Apply(Relax, false); err != nil {
+			t.Fatal(err)
+		}
+		downgrades++
+	}
+	if downgrades != 2 {
+		t.Fatalf("downgrades = %d, want 2 (4x -> 2x -> off)", downgrades)
+	}
+	if g.Mode().Enabled() {
+		t.Fatalf("ladder should end at off, got %v", g.Mode())
+	}
+	// At the bottom the counter still accumulates but never fires.
+	if d := g.RecordViolations(100); d != Stay {
+		t.Fatalf("bottom rung decision %v, want stay", d)
+	}
+	if _, err := g.Apply(Relax, false); err == nil {
+		t.Fatal("relaxing past the bottom must error")
+	}
+}
+
+// TestGovernorBatchedViolationsCrossThreshold: one batch can jump the
+// threshold in a single call.
+func TestGovernorBatchedViolationsCrossThreshold(t *testing.T) {
+	g := newResilGov(t, 4, 5)
+	if d := g.RecordViolations(17); d != Relax {
+		t.Fatalf("batch of 17 over threshold 5: decision %v, want relax", d)
+	}
+}
+
+// TestGovernorViolationsDisabledPath: DowngradeAfter 0 never relaxes and
+// never counts.
+func TestGovernorViolationsDisabledPath(t *testing.T) {
+	g := newResilGov(t, 4, 0)
+	for i := 0; i < 50; i++ {
+		if d := g.RecordViolations(10); d != Stay {
+			t.Fatalf("disabled path decision %v, want stay", d)
+		}
+	}
+	if g.ViolationCount() != 0 {
+		t.Fatalf("disabled path counted %d violations", g.ViolationCount())
+	}
+	if g.RecordViolations(0) != Stay || g.RecordViolations(-3) != Stay {
+		t.Fatal("non-positive n must be a no-op")
+	}
+}
+
+// TestGovernorFailedTightenKeepsCounter: a refused Apply (migrated=false
+// tighten) rolls nothing forward — the rung and the violation counter are
+// unchanged, so the reliability path is not reset by a failed capacity
+// decision.
+func TestGovernorFailedTightenKeepsCounter(t *testing.T) {
+	g := newResilGov(t, 1, 3)
+	g.RecordViolations(2)
+	before := g.Mode()
+	if _, err := g.Apply(Tighten, false); err == nil {
+		t.Fatal("tighten without migration must be refused")
+	}
+	if g.Mode() != before {
+		t.Fatalf("refused tighten moved the rung: %v -> %v", before, g.Mode())
+	}
+	if g.ViolationCount() != 2 {
+		t.Fatalf("refused tighten reset the counter to %d", g.ViolationCount())
+	}
+	// A committed tighten does reset it.
+	if _, err := g.Apply(Tighten, true); err != nil {
+		t.Fatal(err)
+	}
+	if g.ViolationCount() != 0 {
+		t.Fatalf("committed tighten kept the counter at %d", g.ViolationCount())
+	}
+}
+
+// TestGovernorEvaluateViolationIndependence: the pressure path (Evaluate)
+// and the reliability path (RecordViolations) are independent — a rung
+// under memory pressure and violations relaxes once per Apply either way.
+func TestGovernorEvaluateViolationIndependence(t *testing.T) {
+	g := newResilGov(t, 4, 1)
+	if d := g.Evaluate(0.95); d != Relax {
+		t.Fatalf("pressure decision %v, want relax", d)
+	}
+	if d := g.RecordViolations(1); d != Relax {
+		t.Fatalf("reliability decision %v, want relax", d)
+	}
+	if _, err := g.Apply(Relax, false); err != nil {
+		t.Fatal(err)
+	}
+	if g.Mode().K != 2 {
+		t.Fatalf("one Apply moved more than one rung: K=%d", g.Mode().K)
+	}
+}

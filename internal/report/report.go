@@ -89,6 +89,18 @@ func Write(w io.Writer, cfg sim.Config, res *sim.Result) error {
 		}
 	}
 
+	if rs := res.Resilience; rs != nil {
+		fmt.Fprintf(&b, "\n-- resilience --\n")
+		fmt.Fprintf(&b, "ECC events        : %d\n", rs.ECCEvents)
+		fmt.Fprintf(&b, "quarantined rows  : %d\n", rs.QuarantinedRows)
+		fmt.Fprintf(&b, "mode downgrades   : %d (%s -> %s)\n", rs.Downgrades, rs.InitialMode, rs.FinalMode)
+		if rs.ECCEvents > 0 {
+			fmt.Fprintf(&b, "first error / MTBF: %.3f ms / %.3f ms\n", rs.FirstErrorMs, rs.MTBFMs)
+		} else {
+			fmt.Fprintf(&b, "first error / MTBF: none observed\n")
+		}
+	}
+
 	_, err := io.WriteString(w, b.String())
 	return err
 }

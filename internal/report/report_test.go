@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
 	"repro/internal/mcr/mcrtest"
@@ -80,6 +81,47 @@ func TestCompareBlock(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("comparison missing %q", want)
 		}
+	}
+}
+
+func TestWriteReportResilienceSection(t *testing.T) {
+	cfg := sim.DefaultConfig("stream")
+	cfg.DRAM = dram.DefaultConfig(mcrtest.Mode(4, 4, 1))
+	cfg.InstsPerCore = 150_000
+	cfg.Fault = &fault.Config{Seed: 3, WeakFraction: 0.05, TailMinFrac: 0.0005, TailMaxFrac: 0.005}
+	cfg.Resilience = &sim.ResilienceConfig{DowngradeAfter: 2, Quarantine: true}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"-- resilience --",
+		"ECC events",
+		"quarantined rows",
+		"mode downgrades",
+		"first error / MTBF",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "none observed") {
+		t.Error("seeded faults should produce observed errors in the report")
+	}
+
+	// Without the policy the section is absent.
+	cfg2, res2 := runQuick(t, mcr.Off(), false)
+	buf.Reset()
+	if err := Write(&buf, cfg2, res2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "-- resilience --") {
+		t.Error("resilience section must be absent when the policy is off")
 	}
 }
 

@@ -1,0 +1,63 @@
+// Failure taxonomy for hardened plan execution: panics recovered inside
+// a worker become PanicError values, and every spec-level failure is
+// wrapped in a SpecError carrying the workload/config labels, so a sweep
+// over hundreds of cells reports *which* one was poisoned instead of
+// crashing the process or returning an anonymous error.
+
+package runplan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PanicError is a panic recovered from a simulation run (typically a
+// dram command-legality panic on an illegal schedule) converted into an
+// ordinary error so one poisoned config fails its spec, not the process.
+type PanicError struct {
+	// Value is the value passed to panic; Stack is the goroutine stack
+	// captured at recovery.
+	Value any
+	Stack []byte
+}
+
+// Error implements error. The stack is kept out of the one-line message;
+// callers that want it read the field.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("simulation panicked: %v", e.Value)
+}
+
+// StackTrace returns the captured stack as a string.
+func (e *PanicError) StackTrace() string {
+	return strings.TrimSpace(string(e.Stack))
+}
+
+// SpecError labels a spec failure with the plan cell that produced it
+// and how many attempts the retry policy spent before giving up.
+type SpecError struct {
+	Workload string
+	Config   string
+	// Baseline is true when the failed simulation was the spec's memoized
+	// baseline rather than the variant itself.
+	Baseline bool
+	// Attempts is the number of simulation attempts made (1 without
+	// retries).
+	Attempts int
+	Err      error
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	role := "spec"
+	if e.Baseline {
+		role = "baseline"
+	}
+	if e.Attempts > 1 {
+		return fmt.Sprintf("runplan: %s %s · %s failed after %d attempts: %v",
+			role, e.Workload, e.Config, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("runplan: %s %s · %s failed: %v", role, e.Workload, e.Config, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is / errors.As.
+func (e *SpecError) Unwrap() error { return e.Err }

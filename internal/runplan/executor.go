@@ -1,11 +1,16 @@
 // The pooled plan executor: bounded workers, baseline memoization,
-// deterministic result ordering and cancellation.
+// deterministic result ordering and cancellation — hardened so a single
+// poisoned config (a panic inside the simulator, a hung run) fails its
+// own spec with a labelled error instead of killing the sweep.
 
 package runplan
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -26,6 +31,10 @@ type Result struct {
 	// references (identical across all specs sharing that baseline).
 	Stats     RunStats
 	BaseStats RunStats
+	// Err is set only under Executor.KeepGoing: this spec's failure
+	// (including a failed shared baseline). Run and Base are nil when
+	// Err is non-nil.
+	Err error
 }
 
 // RunFunc executes one simulation; it exists so tests can count or fake
@@ -42,6 +51,66 @@ type Executor struct {
 	Sink Sink
 	// Run, when non-nil, replaces sim.RunContext (tests).
 	Run RunFunc
+	// SpecTimeout bounds the wall-clock time of each simulation attempt;
+	// 0 means unbounded. A timed-out attempt fails with
+	// context.DeadlineExceeded and is eligible for retry.
+	SpecTimeout time.Duration
+	// Retries is the number of additional attempts a failed simulation
+	// gets before its spec is declared failed. Plan cancellation is
+	// never retried.
+	Retries int
+	// RetryBackoff is the wait before the first retry, doubling on each
+	// subsequent retry; 0 retries immediately.
+	RetryBackoff time.Duration
+	// KeepGoing records failures per spec (Result.Err) and keeps
+	// executing the rest of the plan instead of cancelling everything at
+	// the first error. Execute then returns the partial results together
+	// with the joined per-spec errors.
+	KeepGoing bool
+}
+
+// attempt runs one simulation attempt: panics are recovered into a
+// PanicError (a dram command-legality panic on a poisoned config must
+// fail the spec, not the process) and SpecTimeout bounds the attempt.
+func (e *Executor) attempt(ctx context.Context, run RunFunc, cfg sim.Config) (res *sim.Result, err error) {
+	if e.SpecTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, e.SpecTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return run(ctx, cfg)
+}
+
+// runSpec applies the retry policy around attempt and labels the final
+// failure with the spec's plan cell. Plan-level cancellation is returned
+// bare — it is neither retried nor a spec failure.
+func (e *Executor) runSpec(ctx context.Context, run RunFunc, cfg sim.Config, workload, config string, baseline bool) (*sim.Result, error) {
+	backoff := e.RetryBackoff
+	for attempt := 1; ; attempt++ {
+		res, err := e.attempt(ctx, run, cfg)
+		if err == nil {
+			return res, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if attempt > e.Retries {
+			return nil, &SpecError{Workload: workload, Config: config, Baseline: baseline, Attempts: attempt, Err: err}
+		}
+		if backoff > 0 {
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			backoff *= 2
+		}
+	}
 }
 
 // baseEntry memoizes one unique baseline configuration.
@@ -56,9 +125,13 @@ type baseEntry struct {
 }
 
 // Execute runs every spec of the plan and returns results in spec order.
-// Each unique baseline configuration is simulated exactly once. The first
-// simulation error cancels the remaining work and is returned; an
-// external cancellation returns the context's error.
+// Each unique baseline configuration is simulated exactly once. By
+// default the first spec failure cancels the remaining work and is
+// returned (wrapped in a SpecError naming the cell); under KeepGoing the
+// failure is recorded on that spec's Result and the rest of the plan
+// still runs, with Execute returning the joined spec errors alongside
+// the partial results. An external cancellation returns the context's
+// error in both modes.
 func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -126,6 +199,12 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 		}
 		mu.Unlock()
 	}
+	// specFailed routes a spec-level failure: recorded-and-continue under
+	// KeepGoing, cancel-the-plan otherwise (and always on cancellation,
+	// which is not a spec failure).
+	specFailed := func(err error) bool {
+		return e.KeepGoing && ctx.Err() == nil && err != nil
+	}
 
 	// Work items flow through one channel, all baselines first. The
 	// channel is FIFO, so by the time a worker picks up a variant every
@@ -164,14 +243,18 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 				if jb.baseKey != "" {
 					en := entries[jb.baseKey]
 					start := time.Now() //mcrlint:allow determinism wall-clock throughput stats only, never results
-					res, err := run(ctx, en.cfg)
+					res, err := e.runSpec(ctx, run, en.cfg, en.workload, en.config, true)
 					en.res, en.err = res, err
 					if res != nil {
 						en.stats = RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts}
 					}
 					close(en.done)
 					if err != nil {
-						fail(err)
+						if specFailed(err) {
+							emit(Event{Kind: KindFailed, Workload: en.workload, Config: en.config, Err: err.Error()})
+						} else {
+							fail(err)
+						}
 						continue
 					}
 					emit(Event{Kind: KindBaseline, Workload: en.workload, Config: en.config, Stats: en.stats})
@@ -187,13 +270,27 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 						continue
 					}
 					if en.err != nil {
-						continue // failure already recorded by the baseline job
+						// Fail-fast: the baseline job already recorded the
+						// failure. KeepGoing: this spec is unservable —
+						// record why and move on.
+						if specFailed(en.err) {
+							err := fmt.Errorf("runplan: spec %s · %s skipped: baseline failed: %w",
+								s.Workload, s.Config, en.err)
+							results[jb.specIdx] = Result{Workload: s.Workload, Config: s.Config, Err: err}
+							emit(Event{Kind: KindFailed, Workload: s.Workload, Config: s.Config, Err: err.Error()})
+						}
+						continue
 					}
 				}
 				start := time.Now() //mcrlint:allow determinism wall-clock throughput stats only, never results
-				res, err := run(ctx, s.Run)
+				res, err := e.runSpec(ctx, run, s.Run, s.Workload, s.Config, false)
 				if err != nil {
-					fail(err)
+					if specFailed(err) {
+						results[jb.specIdx] = Result{Workload: s.Workload, Config: s.Config, Err: err}
+						emit(Event{Kind: KindFailed, Workload: s.Workload, Config: s.Config, Err: err.Error()})
+					} else {
+						fail(err)
+					}
 					continue
 				}
 				stats := RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts}
@@ -214,6 +311,23 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	if e.KeepGoing {
+		// Join failures deterministically: baselines in first-reference
+		// order, then specs in plan order (skipped dependents included —
+		// each line names its cell).
+		var errs []error
+		for _, k := range baseOrder {
+			if en := entries[k]; en.err != nil {
+				errs = append(errs, en.err)
+			}
+		}
+		for i := range results {
+			if results[i].Err != nil {
+				errs = append(errs, results[i].Err)
+			}
+		}
+		return results, errors.Join(errs...)
 	}
 	return results, nil
 }

@@ -20,6 +20,9 @@ const (
 	KindBaseline Kind = "baseline"
 	// KindVariant is a spec's own simulation.
 	KindVariant Kind = "variant"
+	// KindFailed is a spec (or memoized baseline) that failed under
+	// Executor.KeepGoing; Event.Err carries the labelled error text.
+	KindFailed Kind = "failed"
 )
 
 // RunStats instruments one finished simulation.
@@ -65,6 +68,8 @@ type Event struct {
 	Total   int
 	Pending int
 	Stats   RunStats
+	// Err is the failure text for KindFailed events (empty otherwise).
+	Err string
 }
 
 // Sink receives run events. The executor serializes calls, so
@@ -83,6 +88,11 @@ func (f SinkFunc) Event(e Event) { f(e) }
 // e.g. for -v progress on stderr.
 func LineSink(w io.Writer) Sink {
 	return SinkFunc(func(e Event) {
+		if e.Kind == KindFailed {
+			fmt.Fprintf(w, "%s [%d/%d] %s %s · FAILED: %s, %d pending\n",
+				e.Plan, e.Done, e.Total, e.Workload, e.Config, e.Err, e.Pending)
+			return
+		}
 		fmt.Fprintf(w, "%s [%d/%d] %s %s · %s: %.0f ms, %.2f Mcyc/s, %.2f Minst/s, %d pending\n",
 			e.Plan, e.Done, e.Total, e.Workload, e.Config, e.Kind,
 			float64(e.Stats.Wall.Microseconds())/1e3,

@@ -1,0 +1,157 @@
+// The graceful-degradation policy: a modeled ECC/scrub path that watches
+// the integrity checker during the run and reacts to detected violations
+// instead of merely reporting them post-mortem. Each *fresh* violation
+// (first per cell) is an ECC event; the policy can quarantine the failing
+// row's clone gang back to safe 1x operation, and feeds events into the
+// mcr.Governor's reliability ladder — enough sustained events step the
+// device toward a safer mode via the controller's MRS drain.
+
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/integrity"
+	"repro/internal/mcr"
+)
+
+// ResilienceConfig enables the degradation policy (requires the integrity
+// checker, which Config wiring attaches automatically).
+type ResilienceConfig struct {
+	// DowngradeAfter is the number of ECC events at a mode rung that
+	// triggers a relax toward a safer mode (0 disables mode degradation;
+	// see mcr.GovernorConfig.DowngradeAfter).
+	DowngradeAfter int
+	// Quarantine demotes each failing row's clone gang to 1x timing and
+	// full restore on its first ECC event.
+	Quarantine bool
+}
+
+// Validate checks the policy configuration.
+func (c ResilienceConfig) Validate() error {
+	if c.DowngradeAfter < 0 {
+		return fmt.Errorf("sim: DowngradeAfter must be non-negative, got %d", c.DowngradeAfter)
+	}
+	return nil
+}
+
+// ResilienceStats summarizes the degradation path of one run.
+type ResilienceStats struct {
+	// ECCEvents counts distinct failing cells detected (first violation
+	// per bank/row); QuarantinedRows counts rows demoted to 1x;
+	// Downgrades counts mode-ladder relaxes the policy requested.
+	ECCEvents       int
+	QuarantinedRows int
+	Downgrades      int
+	// InitialMode/FinalMode are the device mode labels at start and end.
+	InitialMode, FinalMode string
+	// FirstErrorMs is the time of the first ECC event (0 when clean);
+	// MTBFMs is elapsed time over ECC events (0 when clean) — the run's
+	// observed mean time between failures.
+	FirstErrorMs float64
+	MTBFMs       float64
+}
+
+// resilienceState is the live policy attached to one run.
+type resilienceState struct {
+	cfg     ResilienceConfig
+	dev     *dram.Device
+	ctrl    *controller.Controller
+	checker *integrity.DeviceAdapter
+	gov     *mcr.Governor
+	// seen dedups violations per (bank, row): repeated violations of one
+	// broken cell are one ECC-correctable fault, not a fresh event.
+	seen      map[[2]int]bool
+	processed int // violations consumed from the checker so far
+	stats     ResilienceStats
+}
+
+// modeLabel renders the device's current mode for the stats.
+func modeLabel(dev *dram.Device) string {
+	if c := dev.Config(); c.Layout.Enabled() {
+		return c.Layout.String()
+	}
+	return dev.Config().Mode.String()
+}
+
+// newResilience builds the policy over an attached checker.
+func newResilience(cfg ResilienceConfig, dev *dram.Device, ctrl *controller.Controller, checker *integrity.DeviceAdapter) (*resilienceState, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &resilienceState{
+		cfg: cfg, dev: dev, ctrl: ctrl, checker: checker,
+		seen: make(map[[2]int]bool),
+	}
+	s.stats.InitialMode = modeLabel(dev)
+	if cfg.DowngradeAfter > 0 {
+		startK := 1
+		if m := dev.Config().Mode; m.Enabled() {
+			startK = m.K
+		}
+		gcfg := mcr.DefaultGovernorConfig()
+		gcfg.DowngradeAfter = cfg.DowngradeAfter
+		gov, err := mcr.NewGovernor(gcfg, startK)
+		if err != nil {
+			// Combined layouts have no single ladder rung; fall back to
+			// quarantine-only operation rather than failing the run.
+			gov = nil
+		}
+		s.gov = gov
+	}
+	return s, nil
+}
+
+// poll consumes violations the checker found since the last call and
+// reacts: dedup to ECC events, quarantine gangs, step the mode ladder.
+func (s *resilienceState) poll(now int64) {
+	count := s.checker.Checker().ViolationCount()
+	if count == s.processed {
+		return
+	}
+	vs := s.checker.Violations()[s.processed:]
+	s.processed = count
+	fresh := 0
+	for _, v := range vs {
+		key := [2]int{v.Bank, v.Row}
+		if s.seen[key] {
+			continue
+		}
+		s.seen[key] = true
+		fresh++
+		if s.stats.ECCEvents == 0 {
+			s.stats.FirstErrorMs = v.AtMs
+		}
+		s.stats.ECCEvents++
+		if s.cfg.Quarantine {
+			s.stats.QuarantinedRows += s.dev.Quarantine(v.Row)
+		}
+	}
+	if fresh == 0 || s.gov == nil {
+		return
+	}
+	if s.gov.RecordViolations(fresh) != mcr.Relax {
+		return
+	}
+	next, err := s.gov.Apply(mcr.Relax, false)
+	if err != nil {
+		return // already at the safest rung
+	}
+	s.ctrl.RequestModeChange(next)
+	s.stats.Downgrades++
+}
+
+// finish runs a final poll (after the checker's end-of-run sweep) and
+// seals the stats.
+func (s *resilienceState) finish(now int64) *ResilienceStats {
+	s.poll(now)
+	s.stats.FinalMode = modeLabel(s.dev)
+	if s.stats.ECCEvents > 0 {
+		s.stats.MTBFMs = core.MemCyclesToNS(now) / 1e6 / float64(s.stats.ECCEvents)
+	}
+	out := s.stats
+	return &out
+}

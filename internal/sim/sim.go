@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/cpu"
 	"repro/internal/dram"
+	"repro/internal/fault"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
 	"repro/internal/power"
@@ -52,6 +53,16 @@ type Config struct {
 	// Integrity, when non-nil, attaches the retention-safety checker to
 	// the device; violations land in Result.Integrity.
 	Integrity *integrity.Config
+	// Fault, when non-nil and enabled, injects the deterministic cell
+	// fault population into the integrity model (attaching the checker
+	// with its default configuration if Integrity is nil). The zero-value
+	// fault config injects nothing. A Seed of 0 inherits Config.Seed.
+	Fault *fault.Config
+	// Resilience, when non-nil, enables the graceful-degradation policy:
+	// detected violations become ECC events that can quarantine rows and
+	// step the device toward safer modes. Requires (and implies) the
+	// integrity checker. Stats land in Result.Resilience.
+	Resilience *ResilienceConfig
 	// WarmupInsts, when positive, marks the first WarmupInsts retired
 	// instructions per core as warmup: the read-latency statistics only
 	// cover requests that arrive after every core has passed its warmup
@@ -98,6 +109,9 @@ type Result struct {
 	// Integrity holds retention violations when Config.Integrity was set
 	// (empty = schedule verified safe).
 	Integrity []integrity.Violation
+	// Resilience summarizes the degradation policy when Config.Resilience
+	// was set.
+	Resilience *ResilienceStats
 
 	// MemCycles is the simulated length of the run in memory-clock cycles
 	// (execution plus drain); RetiredInsts sums retirement over all cores.
@@ -136,9 +150,31 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fault injection implies the integrity checker: faults only surface
+	// as violations through it.
+	var fm *fault.Model
+	if cfg.Fault != nil && cfg.Fault.Enabled() {
+		fcfg := *cfg.Fault
+		if fcfg.Seed == 0 {
+			fcfg.Seed = cfg.Seed
+		}
+		fm, err = fault.NewModel(fcfg, cfg.DRAM.Geom.Rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+	icfg := cfg.Integrity
+	if icfg == nil && (fm != nil || cfg.Resilience != nil) {
+		def := integrity.DefaultConfig()
+		icfg = &def
+	}
 	var checker *integrity.DeviceAdapter
-	if cfg.Integrity != nil {
-		checker, err = integrity.Attach(dev, *cfg.Integrity)
+	if icfg != nil {
+		if fm != nil {
+			checker, err = integrity.AttachWithFaults(dev, *icfg, fm)
+		} else {
+			checker, err = integrity.Attach(dev, *icfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -146,6 +182,13 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	ctrl, err := controller.New(cfg.Ctrl, dev, rows)
 	if err != nil {
 		return nil, err
+	}
+	var resil *resilienceState
+	if cfg.Resilience != nil {
+		resil, err = newResilience(*cfg.Resilience, dev, ctrl, checker)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	cores := make([]*cpu.Core, len(cfg.Workloads))
@@ -165,7 +208,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	start := time.Now() //mcrlint:allow determinism wall-clock instrumentation (Result.Wall), never results
-	res, err := runLoop(ctx, cfg, dev, ctrl, cores, checker)
+	res, err := runLoop(ctx, cfg, dev, ctrl, cores, checker, resil)
 	if err != nil {
 		return nil, err
 	}
@@ -242,7 +285,7 @@ func (q *completionQueue) Pop() any {
 
 // runLoop is the main cycle loop: 4 CPU cycles then 1 controller cycle per
 // memory cycle, with rank-state power accounting.
-func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []*cpu.Core, checker *integrity.DeviceAdapter) (*Result, error) {
+func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []*cpu.Core, checker *integrity.DeviceAdapter, resil *resilienceState) (*Result, error) {
 	geom := dev.Config().Geom
 	nRanks := geom.Channels * geom.Ranks
 	idleStreak := make([]int, nRanks)
@@ -263,9 +306,17 @@ func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller
 		if mem > safetyCap {
 			return nil, fmt.Errorf("sim: exceeded %d memory cycles without finishing", safetyCap)
 		}
-		// Cancellation check, amortized so the hot loop stays branch-cheap.
-		if mem&0xFFF == 0 && ctx.Err() != nil {
-			return nil, ctx.Err()
+		// Cancellation check and resilience poll, amortized so the hot
+		// loop stays branch-cheap. The polling cadence models a periodic
+		// ECC scrub: detection lags the violation by at most 4096 memory
+		// cycles (~5 µs), far inside any retention margin of interest.
+		if mem&0xFFF == 0 {
+			if ctx.Err() != nil {
+				return nil, ctx.Err()
+			}
+			if resil != nil {
+				resil.poll(mem)
+			}
 		}
 		// Deliver due read completions before the cores run.
 		for len(pending) > 0 && pending[0].DoneAt <= mem {
@@ -339,6 +390,9 @@ func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller
 		// Non-nil even when clean, so consumers can tell "verified safe"
 		// from "checker not attached".
 		res.Integrity = append([]integrity.Violation{}, checker.Violations()...)
+	}
+	if resil != nil {
+		res.Resilience = resil.finish(mem)
 	}
 	for i, c := range cores {
 		if c.DoneAt() > res.ExecCPUCycles {
