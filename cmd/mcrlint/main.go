@@ -3,17 +3,25 @@
 //
 // Usage:
 //
-//	mcrlint [-json] [-checks] [packages]
+//	mcrlint [-json] [-checks] [-baseline file] [-write-baseline file] [packages]
 //
 // Packages are directories relative to the current module, with "./..."
 // expanding to every package in the module (the usual invocation is
 // "mcrlint ./..."). With no arguments it analyzes the whole module.
 //
-// Exit status is 0 when all checks pass, 1 when any diagnostic is
-// reported, and 2 when analysis itself fails (parse or type error, bad
-// invocation). Individual findings can be suppressed with a
-// "//mcrlint:allow <check> [justification]" comment on or directly above
-// the offending line.
+// With -baseline, findings recorded in the baseline file are demoted to
+// stderr warnings and do not affect the exit status; only findings
+// absent from the baseline fail the run. Baseline entries are keyed by
+// (check, module-relative file, message) — line numbers are deliberately
+// left out so unrelated edits shifting a finding by a few lines do not
+// invalidate the baseline. -write-baseline records the current findings
+// to the named file and exits 0.
+//
+// Exit status is 0 when all checks pass, 1 when any non-baselined
+// diagnostic is reported, and 2 when analysis itself fails (parse or
+// type error, bad invocation). Individual findings can be suppressed
+// with a "//mcrlint:allow <check> [justification]" comment on or
+// directly above the offending line.
 package main
 
 import (
@@ -31,8 +39,10 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	listChecks := flag.Bool("checks", false, "list registered checks and exit")
+	baseline := flag.String("baseline", "", "demote findings recorded in this baseline file to warnings")
+	writeBaseline := flag.String("write-baseline", "", "record current findings to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mcrlint [-json] [-checks] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mcrlint [-json] [-checks] [-baseline file] [-write-baseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -43,10 +53,10 @@ func main() {
 		}
 		return
 	}
-	os.Exit(run(flag.Args(), *jsonOut))
+	os.Exit(run(flag.Args(), *jsonOut, *baseline, *writeBaseline))
 }
 
-func run(args []string, jsonOut bool) int {
+func run(args []string, jsonOut bool, baseline, writeBaseline string) int {
 	root, module, err := findModule()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcrlint:", err)
@@ -79,6 +89,36 @@ func run(args []string, jsonOut bool) int {
 		}
 		diags = append(diags, analysis.RunChecks(pkg, analysis.All())...)
 	}
+	// The same file can be analyzed under more than one package variant;
+	// collapse exact duplicates and fix a deterministic output order
+	// across all packages.
+	diags = analysis.Dedupe(diags)
+
+	if writeBaseline != "" {
+		if err := saveBaseline(writeBaseline, root, diags); err != nil {
+			fmt.Fprintln(os.Stderr, "mcrlint:", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "mcrlint: wrote %d baseline entr%s to %s\n",
+			len(diags), plural(len(diags), "y", "ies"), writeBaseline)
+		return 0
+	}
+	if baseline != "" {
+		known, err := loadBaseline(baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mcrlint:", err)
+			return 2
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if known[baselineKey(root, d)] {
+				fmt.Fprintf(os.Stderr, "mcrlint: baselined: %s\n", d)
+				continue
+			}
+			kept = append(kept, d)
+		}
+		diags = kept
+	}
 
 	if jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -102,6 +142,69 @@ func run(args []string, jsonOut bool) int {
 		return 1
 	}
 	return 0
+}
+
+// baselineKey is the identity of a finding for baseline matching:
+// check, module-relative file path, and message. Line and column are
+// deliberately excluded so edits elsewhere in a file do not invalidate
+// the baseline.
+func baselineKey(root string, d analysis.Diagnostic) string {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = filepath.ToSlash(rel)
+	}
+	return d.Check + "|" + file + "|" + d.Message
+}
+
+// baselineEntry is one recorded finding in a baseline file.
+type baselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Message string `json:"message"`
+}
+
+// loadBaseline reads a baseline file into a key set.
+func loadBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []baselineEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	known := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		known[e.Check+"|"+e.File+"|"+e.Message] = true
+	}
+	return known, nil
+}
+
+// saveBaseline records the findings as a baseline file.
+func saveBaseline(path, root string, diags []analysis.Diagnostic) error {
+	entries := []baselineEntry{}
+	seen := map[string]bool{}
+	for _, d := range diags {
+		key := baselineKey(root, d)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		parts := strings.SplitN(key, "|", 3)
+		entries = append(entries, baselineEntry{Check: parts[0], File: parts[1], Message: parts[2]})
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // findModule walks upward from the working directory to the enclosing

@@ -25,32 +25,58 @@ type allowKey struct {
 // allowSet indexes every allow comment of a package.
 type allowSet map[allowKey]bool
 
-// collectAllows scans all comments of the package's files.
+// collectAllows scans all comments of the package's files. One comment
+// may carry several directives ("//mcrlint:allow a x //mcrlint:allow
+// b y"); each contributes its own suppression.
 func collectAllows(fset *token.FileSet, files []*ast.File) allowSet {
 	set := allowSet{}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				if !strings.HasPrefix(text, allowPrefix) {
-					continue
-				}
-				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
-				if len(fields) == 0 {
-					continue
-				}
 				pos := fset.Position(c.Pos())
-				set[allowKey{file: pos.Filename, line: pos.Line, check: fields[0]}] = true
+				for _, check := range allowChecks(c.Text) {
+					set[allowKey{file: pos.Filename, line: pos.Line, check: check}] = true
+				}
 			}
 		}
 	}
 	return set
 }
 
+// allowChecks extracts every check named by allow directives in one
+// comment's text.
+func allowChecks(text string) []string {
+	var checks []string
+	for {
+		i := strings.Index(text, allowPrefix)
+		if i < 0 {
+			return checks
+		}
+		rest := text[i+len(allowPrefix):]
+		fields := strings.Fields(rest)
+		if len(fields) > 0 && !strings.HasPrefix(fields[0], "//") {
+			checks = append(checks, strings.TrimSuffix(fields[0], ","))
+		}
+		text = rest
+	}
+}
+
 // allows reports whether d is suppressed: an allow for its check on its
 // line or the line above.
 func (s allowSet) allows(d Diagnostic) bool {
-	return s[allowKey{d.Pos.Filename, d.Pos.Line, d.Check}] ||
-		s[allowKey{d.Pos.Filename, d.Pos.Line - 1, d.Check}]
+	return s.at(d.Pos.Filename, d.Pos.Line, d.Check)
+}
+
+// at reports whether the (file, line) position carries an allow for
+// check, on the line itself or the line directly above.
+func (s allowSet) at(file string, line int, check string) bool {
+	return s[allowKey{file, line, check}] ||
+		s[allowKey{file, line - 1, check}]
+}
+
+// merge folds other's suppressions into s.
+func (s allowSet) merge(other allowSet) {
+	for k := range other {
+		s[k] = true
+	}
 }

@@ -1,0 +1,132 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parseAllows(t *testing.T, src string) allowSet {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "a.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return collectAllows(fset, []*ast.File{f})
+}
+
+func TestAllowMultipleDirectivesOneComment(t *testing.T) {
+	set := parseAllows(t, `package p
+
+func f() {
+	_ = 1 //mcrlint:allow timing first why //mcrlint:allow determinism second why
+}
+`)
+	for _, check := range []string{"timing", "determinism"} {
+		if !set.at("a.go", 4, check) {
+			t.Errorf("directive for %q on line 4 not collected: %v", check, set)
+		}
+	}
+	if set.at("a.go", 4, "panicpolicy") {
+		t.Error("unnamed check suppressed")
+	}
+}
+
+func TestAllowWrongCheckDoesNotSuppress(t *testing.T) {
+	set := parseAllows(t, `package p
+
+func f() {
+	_ = 1 //mcrlint:allow timing justified
+}
+`)
+	d := Diagnostic{
+		Check: "determinism",
+		Pos:   token.Position{Filename: "a.go", Line: 4},
+	}
+	if set.allows(d) {
+		t.Error("allow for timing suppressed a determinism diagnostic")
+	}
+	d.Check = "timing"
+	if !set.allows(d) {
+		t.Error("allow for timing did not suppress a timing diagnostic")
+	}
+}
+
+func TestAllowPrecedingLineCoversMultiLineExpr(t *testing.T) {
+	// The directive sits on the line above a multi-line expression; the
+	// diagnostic anchors at the expression's first line and must be
+	// suppressed, but the continuation lines must not inherit it.
+	set := parseAllows(t, `package p
+
+func f() int {
+	//mcrlint:allow timing spread call
+	return g(
+		1,
+		2)
+}
+`)
+	if !set.at("a.go", 5, "timing") {
+		t.Error("line directly below the directive not suppressed")
+	}
+	if set.at("a.go", 6, "timing") || set.at("a.go", 7, "timing") {
+		t.Error("continuation lines wrongly suppressed")
+	}
+}
+
+func TestAllowTrailingComma(t *testing.T) {
+	set := parseAllows(t, `package p
+
+var x = 1 //mcrlint:allow unitmix, legacy constant
+`)
+	if !set.at("a.go", 3, "unitmix") {
+		t.Error("check name with trailing comma not recognized")
+	}
+}
+
+func TestAllowBareDirectiveIgnored(t *testing.T) {
+	// A directive with no check name suppresses nothing.
+	set := parseAllows(t, `package p
+
+var x = 1 //mcrlint:allow
+`)
+	if len(set) != 0 {
+		t.Errorf("bare directive produced suppressions: %v", set)
+	}
+}
+
+func TestAllowMerge(t *testing.T) {
+	a := allowSet{allowKey{"a.go", 1, "timing"}: true}
+	b := allowSet{allowKey{"b.go", 2, "unitmix"}: true}
+	a.merge(b)
+	if !a.at("a.go", 1, "timing") || !a.at("b.go", 2, "unitmix") {
+		t.Errorf("merge lost entries: %v", a)
+	}
+}
+
+func TestDedupe(t *testing.T) {
+	d := func(file string, line int, check, msg string) Diagnostic {
+		return Diagnostic{Check: check, Message: msg,
+			Pos: token.Position{Filename: file, Line: line}}
+	}
+	ds := []Diagnostic{
+		d("b.go", 2, "timing", "x"),
+		d("a.go", 1, "timing", "x"),
+		d("a.go", 1, "timing", "x"), // exact duplicate
+		d("a.go", 1, "unitmix", "x"),
+		d("a.go", 1, "timing", "y"),
+	}
+	out := Dedupe(ds)
+	if len(out) != 4 {
+		t.Fatalf("Dedupe kept %d, want 4: %v", len(out), out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i] == out[i-1] {
+			t.Fatalf("duplicate survived at %d: %v", i, out[i])
+		}
+		if diagnosticLess(out[i], out[i-1]) {
+			t.Fatalf("output not sorted at %d: %v before %v", i, out[i-1], out[i])
+		}
+	}
+}

@@ -21,7 +21,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
+
+	"repro/internal/analysis/flow"
 )
 
 // Diagnostic is one finding of one check.
@@ -45,9 +48,18 @@ type Pass struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Summaries is the module's cross-package function-summary store
+	// (nil only for hand-built passes without a loader); the
+	// flow-sensitive checks consult it for transitive facts.
+	Summaries *flow.Store
 
 	check  string
 	report func(Diagnostic)
+}
+
+// FlowPkg adapts the pass's package for the flow layer.
+func (p *Pass) FlowPkg() *flow.Pkg {
+	return &flow.Pkg{Fset: p.Fset, Files: p.Files, Types: p.Pkg, Info: p.Info}
 }
 
 // Reportf records a diagnostic at pos.
@@ -77,7 +89,9 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// All returns every registered check, in stable order.
+// All returns every registered check, in stable order. The first five
+// are syntactic; the last three are flow-sensitive, built on
+// internal/analysis/flow.
 func All() []*Analyzer {
 	return []*Analyzer{
 		TimingLiteral,
@@ -85,6 +99,9 @@ func All() []*Analyzer {
 		PanicPolicy,
 		CtxPropagate,
 		UnitMix,
+		DetFlow,
+		LockScope,
+		CaptureRace,
 	}
 }
 
@@ -93,15 +110,20 @@ func All() []*Analyzer {
 // ordered by position.
 func RunChecks(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	allowed := collectAllows(pkg.Fset, pkg.Files)
+	var store *flow.Store
+	if pkg.loader != nil {
+		store = pkg.loader.Summaries()
+	}
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
-			Fset:  pkg.Fset,
-			Path:  pkg.Path,
-			Files: pkg.Files,
-			Pkg:   pkg.Types,
-			Info:  pkg.Info,
-			check: a.Name,
+			Fset:      pkg.Fset,
+			Path:      pkg.Path,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			Info:      pkg.Info,
+			Summaries: store,
+			check:     a.Name,
 		}
 		pass.report = func(d Diagnostic) {
 			if !allowed.allows(d) {
@@ -114,13 +136,27 @@ func RunChecks(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	return out
 }
 
-// sortDiagnostics orders by file, line, column, then check name.
-func sortDiagnostics(ds []Diagnostic) {
-	for i := 1; i < len(ds); i++ {
-		for j := i; j > 0 && diagnosticLess(ds[j], ds[j-1]); j-- {
-			ds[j], ds[j-1] = ds[j-1], ds[j]
+// SortDiagnostics orders diagnostics by file, line, column, check name,
+// then message — a total, deterministic order.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool { return diagnosticLess(ds[i], ds[j]) })
+}
+
+func sortDiagnostics(ds []Diagnostic) { SortDiagnostics(ds) }
+
+// Dedupe sorts ds and removes exact duplicates (same position, check
+// and message) — the same file analyzed under two package variants must
+// never report twice. The returned slice aliases ds.
+func Dedupe(ds []Diagnostic) []Diagnostic {
+	SortDiagnostics(ds)
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
 		}
+		out = append(out, d)
 	}
+	return out
 }
 
 func diagnosticLess(a, b Diagnostic) bool {
@@ -133,7 +169,10 @@ func diagnosticLess(a, b Diagnostic) bool {
 	if a.Pos.Column != b.Pos.Column {
 		return a.Pos.Column < b.Pos.Column
 	}
-	return a.Check < b.Check
+	if a.Check != b.Check {
+		return a.Check < b.Check
+	}
+	return a.Message < b.Message
 }
 
 // inspectWithStack walks every file, calling fn with each node and the

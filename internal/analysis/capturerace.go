@@ -1,0 +1,219 @@
+// Check capturerace: a static complement to the race detector for the
+// two packages that own the repository's concurrency (internal/runplan,
+// internal/controller). go test -race only sees interleavings a test
+// happens to exercise; this check flags the structural shapes that
+// produce them at all:
+//
+//   - a goroutine writing a variable declared outside its function
+//     literal (plain identifier or field of a captured struct) with no
+//     mutex provably held at the write;
+//   - a goroutine capturing the enclosing loop's iteration variable
+//     instead of receiving it as an argument;
+//   - a goroutine calling, lock-free, a function whose cross-package
+//     summary says it writes package-level state.
+//
+// Disjoint-slot writes (results[i] = r with per-goroutine indices) are
+// the executor's idiom and stay quiet: only identifier and field
+// targets are flagged, not index expressions.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/flow"
+)
+
+// CaptureRace is the goroutine capture/shared-write check.
+var CaptureRace = &Analyzer{
+	Name: "capturerace",
+	Doc:  "no goroutine in runplan/controller capturing loop variables or writing shared state lock-free",
+	Run:  runCaptureRace,
+}
+
+func runCaptureRace(pass *Pass) {
+	if pass.Summaries == nil {
+		return
+	}
+	if !pass.InPackage("runplan") && !pass.InPackage("controller") {
+		return
+	}
+	fpkg := pass.FlowPkg()
+	inspectWithStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			// go f(x): argument evaluation happens in the caller, so the
+			// classic capture hazards do not apply.
+			return
+		}
+		checkLoopCapture(pass, gs, fl, stack)
+		checkGoroutineWrites(pass, fpkg, fl)
+	})
+}
+
+// checkLoopCapture flags uses of an enclosing loop's iteration
+// variables inside the goroutine. Per-iteration loop variables (Go
+// 1.22) remove the classic aliasing bug, but a goroutine that outlives
+// the iteration still races with the next iteration's reuse under
+// earlier toolchains and hides the data handoff; passing the value as
+// an argument keeps it explicit either way.
+func checkLoopCapture(pass *Pass, gs *ast.GoStmt, fl *ast.FuncLit, stack []ast.Node) {
+	loopVars := map[types.Object]bool{}
+	for _, anc := range stack {
+		switch anc := anc.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{anc.Key, anc.Value} {
+				if id, ok := e.(*ast.Ident); ok && id != nil {
+					if obj := pass.Info.ObjectOf(id); obj != nil {
+						loopVars[obj] = true
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := anc.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							loopVars[obj] = true
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// A nested function boundary between the loop and the go
+			// statement: the loop variables belong to another frame.
+			loopVars = map[types.Object]bool{}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	seen := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.Info.Uses[id]
+		if obj == nil || !loopVars[obj] || seen[obj] {
+			return true
+		}
+		seen[obj] = true
+		pass.Reportf(id.Pos(),
+			"goroutine captures loop variable %s; pass it as an argument (go func(%s ...) { ... }(%s)) so the per-iteration value is pinned explicitly",
+			obj.Name(), obj.Name(), obj.Name())
+		return true
+	})
+}
+
+// checkGoroutineWrites runs the lockset analysis over the goroutine
+// body and flags lock-free writes to captured state and lock-free calls
+// to summary-known global writers.
+func checkGoroutineWrites(pass *Pass, fpkg *flow.Pkg, fl *ast.FuncLit) {
+	lf := pass.Summaries.Locks(fpkg, fl.Body)
+	reported := map[ast.Node]bool{}
+	lf.Walk(func(n ast.Node, held flow.LockState) {
+		if len(held) > 0 || reported[n] {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				reportCapturedWrite(pass, fl, lhs, n, reported)
+			}
+		case *ast.IncDecStmt:
+			reportCapturedWrite(pass, fl, n.X, n, reported)
+		}
+		if !reported[n] {
+			flow.Shallow(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && !reported[n] {
+					reportGlobalWriterCall(pass, call, n, reported)
+				}
+				return true
+			})
+		}
+	})
+}
+
+// reportCapturedWrite flags an assignment target that lives outside the
+// goroutine: a plain identifier, or a field/deref chain rooted at a
+// captured identifier. Index expressions are exempt (disjoint-slot
+// idiom).
+func reportCapturedWrite(pass *Pass, fl *ast.FuncLit, lhs ast.Expr, at ast.Node, reported map[ast.Node]bool) {
+	var id *ast.Ident
+	switch lhs := lhs.(type) {
+	case *ast.Ident:
+		id = lhs
+	case *ast.SelectorExpr:
+		id = baseIdentNoIndex(lhs)
+	case *ast.StarExpr:
+		id = baseIdentNoIndex(lhs)
+	default:
+		return
+	}
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return
+	}
+	if obj.Pos() >= fl.Pos() && obj.Pos() <= fl.End() {
+		return // goroutine-local
+	}
+	what := "variable"
+	if _, isSel := lhs.(*ast.Ident); !isSel {
+		what = "state reachable from"
+	}
+	pass.Reportf(at.Pos(),
+		"goroutine writes %s %s, declared outside the goroutine, without holding a lock; guard it with a mutex, make it goroutine-local, or hand it off over a channel",
+		what, obj.Name())
+	reported[at] = true
+}
+
+// baseIdentNoIndex walks to the root identifier of a selector/deref
+// chain, returning nil if the chain passes through an index expression
+// (disjoint-slot writes stay quiet).
+func baseIdentNoIndex(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// reportGlobalWriterCall flags a lock-free call to a function whose
+// summary records package-level writes.
+func reportGlobalWriterCall(pass *Pass, call *ast.CallExpr, at ast.Node, reported map[ast.Node]bool) {
+	callee := flow.CalleeOf(pass.Info, call)
+	if callee == nil {
+		return
+	}
+	sum := pass.Summaries.FuncSummary(callee)
+	if len(sum.WritesGlobals) == 0 {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"goroutine calls %s, which writes package-level %s, without holding a lock",
+		flow.FuncDisplayName(callee), strings.Join(sum.WritesGlobals, ", "))
+	reported[at] = true
+}

@@ -1,0 +1,480 @@
+// Package flow is the flow-sensitive layer under mcrlint: an
+// intraprocedural control-flow-graph builder over go/ast, a generic
+// worklist dataflow engine, and a cross-package function-summary fact
+// store computed bottom-up over the module's import DAG (the analysis
+// loader type-checks packages in dependency order, so by the time a
+// package is analyzed every module-internal callee already has a
+// summary). Everything is stdlib-only, mirroring the rest of
+// internal/analysis.
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal straight-line sequence of
+// statements (and the expressions evaluated with them) with edges only
+// at its end. Nodes holds the statements in execution order; control
+// constructs contribute their condition/tag expression as a node so
+// transfer functions can see evaluations that happen before a branch.
+type Block struct {
+	Index int
+	Kind  string // diagnostic label: "entry", "exit", "if.then", "for.head", ...
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Live reports whether the block is reachable from the entry block.
+	// Unreachable blocks (code after return, break-severed loop tails)
+	// are kept in Blocks — explicitly dead rather than silently dropped —
+	// so the fuzz invariants can distinguish "dead" from "lost".
+	Live bool
+}
+
+func (b *Block) String() string { return fmt.Sprintf("b%d(%s)", b.Index, b.Kind) }
+
+// CFG is the control-flow graph of one function body. Entry and Exit
+// are synthetic empty blocks; every return statement and the fall-off
+// end of the body edge into Exit.
+type CFG struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// builder carries the state of one CFG construction.
+type builder struct {
+	cfg *CFG
+	// cur is the block under construction; nil when the current point is
+	// unreachable (just after return/break/goto).
+	cur *Block
+	// breakTo/continueTo are the innermost targets; labeled variants are
+	// resolved through labels.
+	breaks    []branchTarget
+	continues []branchTarget
+	// labels maps a label name to the block its statement starts, for
+	// goto resolution; pending holds gotos seen before their label.
+	labels  map[string]*Block
+	pending map[string][]*Block
+}
+
+type branchTarget struct {
+	label string // "" for the unlabeled innermost target
+	block *Block
+}
+
+// New builds the CFG of a function body. A nil body (declaration
+// without body) yields a two-block entry→exit graph. The builder never
+// panics on any parseable body — FuzzCFG holds it to that.
+func New(body *ast.BlockStmt) *CFG {
+	b := &builder{
+		cfg:     &CFG{},
+		labels:  map[string]*Block{},
+		pending: map[string][]*Block{},
+	}
+	b.cfg.Entry = b.newBlock("entry")
+	b.cfg.Exit = b.newBlock("exit")
+	b.cur = b.cfg.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.cfg.Exit) // fall off the end
+	// Unresolved gotos (goto to a label that never appears — a type
+	// error, but the builder must stay total): route to exit.
+	for _, srcs := range b.pending {
+		for _, src := range srcs {
+			b.edge(src, b.cfg.Exit)
+		}
+	}
+	b.markLive()
+	return b.cfg
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to target and leaves the
+// current point unreachable.
+func (b *builder) jump(target *Block) {
+	if b.cur != nil {
+		b.edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// startBlock begins a new block at the current point (linking from the
+// previous block if it is live) and returns it.
+func (b *builder) startBlock(kind string) *Block {
+	blk := b.newBlock(kind)
+	if b.cur != nil {
+		b.edge(b.cur, blk)
+	}
+	b.cur = blk
+	return blk
+}
+
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		// Unreachable statement: give it its own dead block so it still
+		// appears in the graph (explicitly dead, analyzable if wanted).
+		b.cur = b.newBlock("dead")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		b.labeledStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s, "")
+	case *ast.RangeStmt:
+		b.rangeStmt(s, "")
+	case *ast.SwitchStmt:
+		b.switchStmt(s, "")
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(s, "")
+	case *ast.SelectStmt:
+		b.selectStmt(s, "")
+	case *ast.ExprStmt:
+		b.add(s)
+		if isPanicCall(s.X) {
+			b.jump(b.cfg.Exit)
+		}
+	default:
+		// Assign, IncDec, Send, Go, Defer, Decl: straight-line.
+		b.add(s)
+	}
+}
+
+// isPanicCall reports whether e is a call to the builtin panic.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) labeledStmt(s *ast.LabeledStmt) {
+	name := s.Label.Name
+	target := b.startBlock("label." + name)
+	b.labels[name] = target
+	for _, src := range b.pending[name] {
+		b.edge(src, target)
+	}
+	delete(b.pending, name)
+	// A label can name the loop/switch/select it precedes, making it a
+	// break/continue target; the constructs pick the label up here.
+	switch inner := s.Stmt.(type) {
+	case *ast.ForStmt:
+		b.forStmt(inner, name)
+	case *ast.RangeStmt:
+		b.rangeStmt(inner, name)
+	case *ast.SwitchStmt:
+		b.switchStmt(inner, name)
+	case *ast.TypeSwitchStmt:
+		b.typeSwitchStmt(inner, name)
+	case *ast.SelectStmt:
+		b.selectStmt(inner, name)
+	default:
+		b.stmt(s.Stmt)
+	}
+}
+
+func (b *builder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if t := findTarget(b.breaks, label); t != nil {
+			b.jump(t)
+		} else {
+			b.jump(b.cfg.Exit) // stray break: stay total
+		}
+	case token.CONTINUE:
+		if t := findTarget(b.continues, label); t != nil {
+			b.jump(t)
+		} else {
+			b.jump(b.cfg.Exit)
+		}
+	case token.GOTO:
+		if t, ok := b.labels[label]; ok {
+			b.jump(t)
+		} else if b.cur != nil {
+			// Forward goto: remember the source block, resolve at label.
+			src := b.cur
+			b.pending[label] = append(b.pending[label], src)
+			b.cur = nil
+		}
+	case token.FALLTHROUGH:
+		// Handled structurally by switchStmt (clause bodies are chained);
+		// as a statement it ends the block without an edge of its own.
+	}
+}
+
+// findTarget returns the innermost target when label is empty, or the
+// one carrying the label.
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if label == "" || stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+func (b *builder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	condBlock := b.cur
+	after := b.newBlock("if.after")
+
+	thenBlock := b.newBlock("if.then")
+	b.edge(condBlock, thenBlock)
+	b.cur = thenBlock
+	b.stmtList(s.Body.List)
+	b.jump(after)
+
+	if s.Else != nil {
+		elseBlock := b.newBlock("if.else")
+		b.edge(condBlock, elseBlock)
+		b.cur = elseBlock
+		b.stmt(s.Else)
+		b.jump(after)
+	} else {
+		b.edge(condBlock, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) forStmt(s *ast.ForStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.startBlock("for.head")
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock("for.after")
+	post := b.newBlock("for.post")
+	if s.Post != nil {
+		post.Nodes = append(post.Nodes, s.Post)
+	}
+	b.edge(post, head)
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+
+	body := b.newBlock("for.body")
+	b.edge(head, body)
+	b.cur = body
+	b.pushLoop(label, after, post)
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	b.jump(post)
+	b.cur = after
+}
+
+func (b *builder) rangeStmt(s *ast.RangeStmt, label string) {
+	head := b.startBlock("range.head")
+	b.add(s) // the range statement itself: X evaluation + per-iteration assignment
+	after := b.newBlock("range.after")
+	b.edge(head, after)
+
+	body := b.newBlock("range.body")
+	b.edge(head, body)
+	b.cur = body
+	b.pushLoop(label, after, head)
+	b.stmtList(s.Body.List)
+	b.popLoop()
+	b.jump(head)
+	b.cur = after
+}
+
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{"", brk})
+	b.continues = append(b.continues, branchTarget{"", cont})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label, brk})
+		b.continues = append(b.continues, branchTarget{label, cont})
+	}
+}
+
+func (b *builder) popLoop() {
+	n := 1
+	if len(b.breaks) >= 2 && b.breaks[len(b.breaks)-1].label != "" {
+		n = 2
+	}
+	b.breaks = b.breaks[:len(b.breaks)-n]
+	b.continues = b.continues[:len(b.continues)-n]
+}
+
+func (b *builder) switchStmt(s *ast.SwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	if s.Tag != nil {
+		b.add(s.Tag)
+	}
+	b.caseClauses(s.Body, label, "switch")
+}
+
+func (b *builder) typeSwitchStmt(s *ast.TypeSwitchStmt, label string) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Assign)
+	b.caseClauses(s.Body, label, "typeswitch")
+}
+
+// caseClauses lowers a (type)switch body: the dispatch block edges into
+// every clause, fallthrough chains clause bodies, break (and the switch
+// end) edge to after. Without a default clause the dispatch also edges
+// straight to after.
+func (b *builder) caseClauses(body *ast.BlockStmt, label, kind string) {
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.startBlock(kind + ".dispatch")
+	}
+	after := b.newBlock(kind + ".after")
+	b.breaks = append(b.breaks, branchTarget{"", after})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label, after})
+	}
+
+	hasDefault := false
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+	}
+	blocks := make([]*Block, len(clauses))
+	for i := range clauses {
+		blocks[i] = b.newBlock(kind + ".case")
+		b.edge(dispatch, blocks[i])
+	}
+	for i, cc := range clauses {
+		for _, e := range cc.List {
+			blocks[i].Nodes = append(blocks[i].Nodes, e)
+		}
+		b.cur = blocks[i]
+		b.stmtList(cc.Body)
+		if fallsThrough(cc.Body) && i+1 < len(clauses) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	if !hasDefault {
+		b.edge(dispatch, after)
+	}
+	b.popBreak(label)
+	b.cur = after
+}
+
+func (b *builder) popBreak(label string) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breaks = b.breaks[:len(b.breaks)-n]
+}
+
+// fallsThrough reports whether the clause body ends in a fallthrough.
+func fallsThrough(body []ast.Stmt) bool {
+	if len(body) == 0 {
+		return false
+	}
+	br, ok := body[len(body)-1].(*ast.BranchStmt)
+	return ok && br.Tok == token.FALLTHROUGH
+}
+
+func (b *builder) selectStmt(s *ast.SelectStmt, label string) {
+	// The select itself — the potentially blocking wait — lives in the
+	// dispatch block so lock analyses see it with the pre-select state.
+	b.add(s)
+	dispatch := b.cur
+	if dispatch == nil {
+		dispatch = b.startBlock("select.dispatch")
+	}
+	after := b.newBlock("select.after")
+	b.breaks = append(b.breaks, branchTarget{"", after})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label, after})
+	}
+	any := false
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		any = true
+		blk := b.newBlock("select.comm")
+		b.edge(dispatch, blk)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.cur = blk
+		b.stmtList(cc.Body)
+		b.jump(after)
+	}
+	if !any {
+		// select{} blocks forever: no edge to after except via break.
+		b.edge(dispatch, b.cfg.Exit)
+	}
+	b.popBreak(label)
+	b.cur = after
+}
+
+// markLive flags every block reachable from the entry.
+func (b *builder) markLive() {
+	var stack []*Block
+	b.cfg.Entry.Live = true
+	stack = append(stack, b.cfg.Entry)
+	for len(stack) > 0 {
+		blk := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range blk.Succs {
+			if !s.Live {
+				s.Live = true
+				stack = append(stack, s)
+			}
+		}
+	}
+}

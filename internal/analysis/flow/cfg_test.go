@@ -1,0 +1,199 @@
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `func f() { <src> }` and returns the body.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	file := "package p\nfunc f() {\n" + src + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// checkInvariants asserts the structural CFG invariants FuzzCFG also
+// holds the builder to.
+func checkInvariants(t *testing.T, g *CFG) {
+	t.Helper()
+	if err := invariants(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// invariants reports the first violated structural invariant of g.
+func invariants(g *CFG) error {
+	if g == nil || g.Entry == nil || g.Exit == nil {
+		return errf("nil CFG or missing entry/exit")
+	}
+	in := map[*Block]bool{}
+	for _, b := range g.Blocks {
+		if b == nil {
+			return errf("nil block in Blocks")
+		}
+		if in[b] {
+			return errf("%v appears twice in Blocks", b)
+		}
+		in[b] = true
+	}
+	if !in[g.Entry] || !in[g.Exit] {
+		return errf("entry/exit not in Blocks")
+	}
+	if len(g.Entry.Preds) != 0 {
+		return errf("entry has predecessors")
+	}
+	if len(g.Exit.Succs) != 0 {
+		return errf("exit has successors")
+	}
+	if !g.Entry.Live {
+		return errf("entry not live")
+	}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			if !in[s] {
+				return errf("%v has successor outside Blocks", b)
+			}
+			if !hasEdge(s.Preds, b) {
+				return errf("edge %v->%v missing mirror pred", b, s)
+			}
+		}
+		for _, p := range b.Preds {
+			if !in[p] {
+				return errf("%v has predecessor outside Blocks", b)
+			}
+			if !hasEdge(p.Succs, b) {
+				return errf("pred edge %v<-%v missing mirror succ", b, p)
+			}
+		}
+		if b.Live && b != g.Entry {
+			anyLivePred := false
+			for _, p := range b.Preds {
+				if p.Live {
+					anyLivePred = true
+					break
+				}
+			}
+			if !anyLivePred {
+				return errf("%v live without a live predecessor", b)
+			}
+		}
+	}
+	return nil
+}
+
+func hasEdge(list []*Block, b *Block) bool {
+	for _, x := range list {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf(format, args...)
+}
+
+func TestCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		// wantDead is the number of explicitly dead (non-live) blocks
+		// that carry at least one statement.
+		wantDead int
+	}{
+		{"straightline", "x := 1\n_ = x", 0},
+		{"ifelse", "if c() {\na()\n} else {\nb()\n}\nd()", 0},
+		{"forloop", "for i := 0; i < 10; i++ {\nuse(i)\n}", 0},
+		{"forever", "for {\nspin()\n}", 0},
+		{"rangeloop", "for k, v := range m {\nuse(k, v)\n}", 0},
+		{"switchfall", "switch x {\ncase 1:\na()\nfallthrough\ncase 2:\nb()\ndefault:\nc()\n}", 0},
+		{"typeswitch", "switch v := x.(type) {\ncase int:\nuse(v)\ndefault:\n}", 0},
+		{"selectdefault", "select {\ncase v := <-ch:\nuse(v)\ndefault:\n}", 0},
+		{"selectempty", "select {}\nafter()", 1},
+		{"labeledbreak", "outer:\nfor {\nfor {\nbreak outer\n}\n}\ndone()", 0},
+		{"labeledcontinue", "outer:\nfor a() {\nfor {\ncontinue outer\n}\n}", 0},
+		{"gotoforward", "goto done\nmid()\ndone:\nend()", 1},
+		{"gotobackward", "top:\nstep()\ngoto top", 0},
+		{"deadafterreturn", "return\nunreached()", 1},
+		{"deferunderif", "if c() {\ndefer f()\n}\ng()", 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New(parseBody(t, tc.src))
+			checkInvariants(t, g)
+			dead := 0
+			for _, b := range g.Blocks {
+				if !b.Live && len(b.Nodes) > 0 {
+					dead++
+				}
+			}
+			if dead != tc.wantDead {
+				t.Errorf("dead populated blocks = %d, want %d\n%s", dead, tc.wantDead, dump(g))
+			}
+		})
+	}
+}
+
+func TestCFGNilBody(t *testing.T) {
+	g := New(nil)
+	checkInvariants(t, g)
+	if len(g.Blocks) != 2 {
+		t.Fatalf("nil body: %d blocks, want entry+exit", len(g.Blocks))
+	}
+}
+
+func TestCFGForeverLoopHasNoExitEdge(t *testing.T) {
+	// `for {}` with no condition and no break must not edge to the code
+	// after the loop; that code is dead.
+	g := New(parseBody(t, "for {\nspin()\n}\nafter()"))
+	checkInvariants(t, g)
+	for _, b := range g.Blocks {
+		if b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			if call, ok := nodeCallName(n); ok && call == "after" {
+				return // after() correctly landed in a dead block
+			}
+		}
+	}
+	t.Fatalf("after() not in a dead block\n%s", dump(g))
+}
+
+func nodeCallName(n ast.Node) (string, bool) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return "", false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	return id.Name, true
+}
+
+func dump(g *CFG) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "%v live=%v nodes=%d ->", b, b.Live, len(b.Nodes))
+		for _, s := range b.Succs {
+			fmt.Fprintf(&sb, " %v", s)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

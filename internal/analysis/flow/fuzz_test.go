@@ -1,0 +1,57 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// FuzzCFG feeds arbitrary function bodies to the CFG builder and holds
+// it to its contract: it never panics on a parseable body, and the
+// graph it returns satisfies the structural invariants (entry/exit
+// present, succ/pred lists mirror each other, every edge endpoint is in
+// Blocks, liveness is consistent with reachability from entry).
+func FuzzCFG(f *testing.F) {
+	seeds := []string{
+		"",
+		"x := 1\n_ = x",
+		"if a {\nreturn\n}\nb()",
+		"for i := 0; i < 10; i++ {\nif i == 3 {\ncontinue\n}\nuse(i)\n}",
+		"for {\nbreak\n}",
+		"for {\n}",
+		"for k, v := range m {\nuse(k, v)\n}",
+		"switch x {\ncase 1:\na()\nfallthrough\ncase 2:\nb()\ndefault:\nc()\n}",
+		"switch v := x.(type) {\ncase int:\nuse(v)\n}",
+		"select {\ncase <-ch:\ndefault:\n}",
+		"select {}",
+		"outer:\nfor {\nfor {\nbreak outer\n}\n}",
+		"loop:\nfor a() {\ncontinue loop\n}",
+		"goto done\nmid()\ndone:\nend()",
+		"top:\nstep()\ngoto top",
+		"return\ndead()",
+		"defer f()\ngo g()\npanic(\"x\")",
+		"goto missing",
+		"L:\n_ = 0\ngoto L\ngoto L",
+		"if a {\n} else if b {\n} else {\n}",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body string) {
+		src := "package p\nfunc f() {\n" + body + "\n}\n"
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, 0)
+		if err != nil {
+			t.Skip() // not a parseable body; out of contract
+		}
+		fd, ok := file.Decls[0].(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			t.Skip()
+		}
+		g := New(fd.Body) // must not panic
+		if err := invariants(g); err != nil {
+			t.Fatalf("invariant violated for body %q: %v\n%s", body, err, dump(g))
+		}
+	})
+}

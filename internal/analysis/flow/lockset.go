@@ -1,0 +1,197 @@
+// Lockset dataflow: a forward must-analysis tracking which
+// sync.Mutex/sync.RWMutex values are provably held at each program
+// point. Gen at X.Lock()/X.RLock(), kill at X.Unlock()/X.RUnlock();
+// a deferred unlock does not kill (the lock stays held until function
+// exit, which is exactly the property lockscope cares about). Locks are
+// identified by the printed form of their receiver expression ("mu",
+// "c.mu"), which is stable within one function.
+
+package flow
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HeldLock describes one lock known to be held.
+type HeldLock struct {
+	Expr string    // receiver rendering, e.g. "c.mu"
+	Kind string    // "Lock" or "RLock"
+	Pos  token.Pos // acquisition site
+}
+
+// LockState maps receiver renderings to held locks.
+type LockState map[string]HeldLock
+
+// LockFlow is one solved lockset analysis.
+type LockFlow struct {
+	pkg *Pkg
+	cfg *CFG
+	sol *Solution[LockState]
+}
+
+// Locks runs the lockset analysis over body.
+func (s *Store) Locks(pkg *Pkg, body *ast.BlockStmt) *LockFlow {
+	cfg := New(body)
+	p := &lockProblem{pkg: pkg}
+	sol := Solve[LockState](cfg, Forward, p)
+	return &LockFlow{pkg: pkg, cfg: cfg, sol: sol}
+}
+
+// Walk replays the analysis: fn sees every node of every reachable
+// block with the locks held just before the node executes.
+func (lf *LockFlow) Walk(fn func(n ast.Node, held LockState)) {
+	p := &lockProblem{pkg: lf.pkg}
+	for _, b := range lf.cfg.Blocks {
+		st, ok := lf.sol.In[b]
+		if !ok {
+			continue
+		}
+		st = cloneLocks(st)
+		for _, n := range b.Nodes {
+			fn(n, st)
+			p.transferNode(st, n)
+		}
+	}
+}
+
+type lockProblem struct {
+	pkg *Pkg
+}
+
+func (p *lockProblem) Boundary() LockState         { return LockState{} }
+func (p *lockProblem) Clone(f LockState) LockState { return cloneLocks(f) }
+
+func (p *lockProblem) Join(dst, src LockState) (LockState, bool) {
+	// Must-analysis: intersection.
+	changed := false
+	for k := range dst {
+		if _, ok := src[k]; !ok {
+			delete(dst, k)
+			changed = true
+		}
+	}
+	return dst, changed
+}
+
+func (p *lockProblem) Transfer(b *Block, in LockState) LockState {
+	st := cloneLocks(in)
+	for _, n := range b.Nodes {
+		p.transferNode(st, n)
+	}
+	return st
+}
+
+func cloneLocks(st LockState) LockState {
+	out := make(LockState, len(st))
+	for k, v := range st {
+		out[k] = v
+	}
+	return out
+}
+
+// transferNode applies lock acquisitions and releases in n. Deferred
+// calls are skipped: defer mu.Unlock() releases at exit, not here.
+func (p *lockProblem) transferNode(st LockState, n ast.Node) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return
+	}
+	if _, ok := n.(*ast.GoStmt); ok {
+		return
+	}
+	Shallow(n, func(m ast.Node) bool {
+		call, ok := m.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, method, ok := MutexOp(p.pkg.Info, call)
+		if !ok {
+			return true
+		}
+		key := ExprString(recv)
+		switch method {
+		case "Lock", "RLock":
+			st[key] = HeldLock{Expr: key, Kind: method, Pos: call.Pos()}
+		case "Unlock", "RUnlock":
+			delete(st, key)
+		}
+		return true
+	})
+}
+
+// MutexOp recognizes a call as a sync.Mutex/sync.RWMutex
+// Lock/RLock/Unlock/RUnlock and returns the receiver expression and
+// method name.
+func MutexOp(info *types.Info, call *ast.CallExpr) (recv ast.Expr, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return nil, "", false
+	}
+	// Resolve through the method object so embedded mutexes
+	// (c.Lock() with Controller embedding sync.Mutex) match too.
+	if fn, ok := info.Uses[sel.Sel].(*types.Func); ok &&
+		fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+		return sel.X, sel.Sel.Name, true
+	}
+	t := info.TypeOf(sel.X)
+	if t == nil {
+		return nil, "", false
+	}
+	q := typeQName(t)
+	if q != "sync.Mutex" && q != "sync.RWMutex" {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// ExprString renders a lock receiver (or any simple expression) for use
+// as a stable key and in diagnostics.
+func ExprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return ExprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + ExprString(e.X)
+	case *ast.ParenExpr:
+		return ExprString(e.X)
+	case *ast.IndexExpr:
+		return ExprString(e.X) + "[...]"
+	case *ast.CallExpr:
+		return ExprString(e.Fun) + "(...)"
+	default:
+		return fmt.Sprintf("<%T>", e)
+	}
+}
+
+// Held renders a lock state compactly for diagnostics: "mu" or
+// "c.mu (RLock)".
+func (st LockState) Held() string {
+	if len(st) == 0 {
+		return ""
+	}
+	var parts []string
+	for _, l := range st {
+		s := l.Expr
+		if l.Kind == "RLock" {
+			s += " (RLock)"
+		}
+		parts = append(parts, s)
+	}
+	// Deterministic order for multi-lock states.
+	for i := 1; i < len(parts); i++ {
+		for j := i; j > 0 && parts[j] < parts[j-1]; j-- {
+			parts[j], parts[j-1] = parts[j-1], parts[j]
+		}
+	}
+	return strings.Join(parts, ", ")
+}

@@ -17,6 +17,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"repro/internal/analysis/flow"
 )
 
 // Package is one loaded, type-checked package ready for analysis.
@@ -27,6 +29,8 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	loader *Loader // back-reference for cross-package summaries
 }
 
 // Loader loads and caches packages of one module.
@@ -35,9 +39,11 @@ type Loader struct {
 	ModuleRoot string // absolute directory containing go.mod
 	ModuleName string // module path, e.g. "repro"
 
-	std  types.ImporterFrom
-	pkgs map[string]*Package // import path -> loaded package
-	errs map[string]error    // import path -> load failure (memoized)
+	std    types.ImporterFrom
+	pkgs   map[string]*Package // import path -> loaded package
+	errs   map[string]error    // import path -> load failure (memoized)
+	allows allowSet            // allow comments across every loaded package
+	store  *flow.Store         // lazily built cross-package summary store
 }
 
 // NewLoader builds a loader for the module rooted at root.
@@ -50,7 +56,33 @@ func NewLoader(root, module string) *Loader {
 		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pkgs:       map[string]*Package{},
 		errs:       map[string]error{},
+		allows:     allowSet{},
 	}
+}
+
+// Summaries returns the loader's cross-package function-summary store.
+// Summaries are computed bottom-up on demand: because imports load
+// before importers, every callee in a dependency package is resolvable
+// by the time its caller is analyzed. Taint is suppressed at sources
+// whose line carries an allow for detflow (or determinism, the
+// syntactic sibling).
+func (l *Loader) Summaries() *flow.Store {
+	if l.store == nil {
+		l.store = flow.NewStore(
+			func(path string) *flow.Pkg {
+				p, ok := l.pkgs[path]
+				if !ok {
+					return nil
+				}
+				return &flow.Pkg{Fset: p.Fset, Files: p.Files, Types: p.Types, Info: p.Info}
+			},
+			func(pos token.Position) bool {
+				return l.allows.at(pos.Filename, pos.Line, "detflow") ||
+					l.allows.at(pos.Filename, pos.Line, "determinism")
+			},
+		)
+	}
+	return l.store
 }
 
 // Import implements types.Importer: module-internal packages load from
@@ -116,13 +148,15 @@ func (l *Loader) load(dir, path string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("typecheck %s: %w", path, err)
 	}
+	l.allows.merge(collectAllows(l.Fset, files))
 	return &Package{
-		Path:  path,
-		Dir:   dir,
-		Fset:  l.Fset,
-		Files: files,
-		Types: tpkg,
-		Info:  info,
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.Fset,
+		Files:  files,
+		Types:  tpkg,
+		Info:   info,
+		loader: l,
 	}, nil
 }
 

@@ -1,0 +1,156 @@
+// Check lockscope: a mutex provably held (lockset must-analysis over
+// the CFG) across a blocking operation — a channel send or receive, a
+// select with no default (including the <-ctx.Done() wait shape), a
+// call to a function whose summary says it blocks, or a long-running
+// simulation entry point (sim.Run/RunContext, the controller's MRS
+// drain). These are the deadlock shapes the run-plan executor's
+// runtime hardening (PR 3) can only mitigate after the fact; holding a
+// lock across a blocked send wedges every other goroutine that needs
+// the lock.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis/flow"
+)
+
+// LockScope is the lock-across-blocking-operation check.
+var LockScope = &Analyzer{
+	Name: "lockscope",
+	Doc:  "no mutex held across channel operations, ctx waits, sim.Run, or the controller MRS drain",
+	Run:  runLockScope,
+}
+
+func runLockScope(pass *Pass) {
+	if pass.Summaries == nil {
+		return
+	}
+	fpkg := pass.FlowPkg()
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkLockScopeBody(pass, fpkg, fd.Body)
+			// Function literals (goroutine bodies, callbacks) are their
+			// own functions with their own lock discipline.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					checkLockScopeBody(pass, fpkg, fl.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func checkLockScopeBody(pass *Pass, fpkg *flow.Pkg, body *ast.BlockStmt) {
+	lf := pass.Summaries.Locks(fpkg, body)
+	// Select comm statements execute only after the select's wait has
+	// completed; the dispatch node already models that wait, so the
+	// comm node itself is not a second blocking point.
+	commNodes := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cs := range sel.Body.List {
+				if cc, ok := cs.(*ast.CommClause); ok && cc.Comm != nil {
+					commNodes[cc.Comm] = true
+				}
+			}
+		}
+		return true
+	})
+	reported := map[ast.Node]bool{}
+	lf.Walk(func(n ast.Node, held flow.LockState) {
+		if len(held) == 0 || reported[n] || commNodes[n] {
+			return
+		}
+		if op := blockingOp(pass, n); op != "" {
+			reported[n] = true
+			pass.Reportf(n.Pos(),
+				"mutex %s is held across %s; a blocked wait while holding the lock can deadlock — release the lock first",
+				held.Held(), op)
+		}
+	})
+}
+
+// blockingOp classifies a CFG node as a blocking operation, returning a
+// description or "".
+func blockingOp(pass *Pass, n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.DeferStmt, *ast.GoStmt:
+		return ""
+	case *ast.SendStmt:
+		return "a channel send"
+	case *ast.SelectStmt:
+		for _, cs := range n.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+				return "" // default clause: non-blocking
+			}
+		}
+		return "a select with no default"
+	}
+	found := ""
+	flow.Shallow(n, func(m ast.Node) bool {
+		if found != "" {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				found = "a channel receive (" + flow.ExprString(m.X) + ")"
+				return false
+			}
+		case *ast.CallExpr:
+			if op := blockingCall(pass, m); op != "" {
+				found = op
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// blockingCall classifies a call as blocking or long-running.
+func blockingCall(pass *Pass, call *ast.CallExpr) string {
+	callee := flow.CalleeOf(pass.Info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	name := flow.FuncDisplayName(callee)
+	if lr := longRunning(callee.Pkg().Path(), callee.Name()); lr != "" {
+		return "a call to " + name + " (" + lr + ")"
+	}
+	sum := pass.Summaries.FuncSummary(callee)
+	if sum.Blocks {
+		via := ""
+		if len(sum.BlocksVia) > 0 {
+			chain := sum.BlocksVia
+			if len(chain) > 3 {
+				chain = chain[:3]
+			}
+			via = " via " + strings.Join(chain, " → ")
+		}
+		return "a call to " + name + ", which can block on " + sum.BlocksOn + via
+	}
+	return ""
+}
+
+// longRunning names the whole-simulation entry points that must never
+// run under a caller's lock, independent of whether they block on
+// channels.
+func longRunning(pkgPath, fn string) string {
+	switch {
+	case strings.HasSuffix(pkgPath, "internal/sim") && (fn == "Run" || fn == "RunContext"):
+		return "an entire simulation run"
+	case strings.HasSuffix(pkgPath, "internal/controller") && (fn == "tickModeChange" || fn == "RequestModeChange"):
+		return "the MRS mode-change drain"
+	}
+	return ""
+}

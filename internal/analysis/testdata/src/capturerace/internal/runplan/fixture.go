@@ -1,0 +1,98 @@
+package runplan
+
+import "sync"
+
+var hits int
+
+// bump writes package-level state; its summary records runplan.hits.
+func bump() {
+	hits++
+}
+
+// A goroutine writing a captured counter lock-free: flagged.
+func countRaces(n int) int {
+	count := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++ // want `goroutine writes variable count, declared outside the goroutine, without holding a lock`
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// The same write under a mutex: quiet.
+func countLocked(n int) int {
+	count := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			count++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// Capturing the loop variable is flagged; passing it as an argument is
+// the quiet idiom.
+func spawnAll(specs []string, run func(string)) {
+	var wg sync.WaitGroup
+	for _, s := range specs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			run(s) // want `goroutine captures loop variable s`
+		}()
+	}
+	for _, s := range specs {
+		wg.Add(1)
+		go func(s string) {
+			defer wg.Done()
+			run(s)
+		}(s)
+	}
+	wg.Wait()
+}
+
+type tally struct {
+	total int
+}
+
+// Writing a field of a captured struct lock-free: flagged.
+func fieldWrite(t *tally) {
+	done := make(chan struct{})
+	go func() {
+		t.total = 1 // want `goroutine writes state reachable from t, declared outside the goroutine, without holding a lock`
+		close(done)
+	}()
+	<-done
+}
+
+// Disjoint index slots are the executor's idiom: quiet.
+func slotWrites(out []int) {
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Calling a summary-known global writer lock-free: flagged.
+func fireAndForget() {
+	go func() {
+		bump() // want `goroutine calls runplan\.bump, which writes package-level runplan\.hits, without holding a lock`
+	}()
+}

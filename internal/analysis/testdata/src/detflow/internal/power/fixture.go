@@ -1,0 +1,10 @@
+package power
+
+import "time"
+
+// Sample returns an instantaneous wall-clock-derived reading: a
+// nondeterminism source living one package below the sink, visible to
+// detflow only through the cross-package summary store.
+func Sample() float64 {
+	return float64(time.Now().UnixNano())
+}

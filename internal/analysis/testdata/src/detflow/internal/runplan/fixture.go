@@ -1,0 +1,20 @@
+package runplan
+
+import "time"
+
+// ConfigKey mirrors the real memoization-key constructor.
+func ConfigKey(cfg any) (string, error) {
+	return "", nil
+}
+
+// memoize feeds a wall-clock-derived string into the memoization key:
+// flagged — a nondeterministic key silently defeats baseline sharing.
+func memoize() {
+	stamp := time.Now().String()
+	_, _ = ConfigKey(stamp) // want `runplan\.ConfigKey is fed a value derived from time\.Now \(wall clock\); the plan memoization key \(runplan\.ConfigKey\) must be deterministic`
+}
+
+// memoizeStable keys on stable configuration: quiet.
+func memoizeStable(cfg any) {
+	_, _ = ConfigKey(cfg)
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/power"
+)
+
+// Result mirrors the real sim.Result shape the sink rules key on.
+type Result struct {
+	Metric float64
+	Keys   []string
+	Wall   time.Duration
+}
+
+// jitter reads the wall clock: the taint source, two frames below Run.
+func jitter() float64 {
+	return float64(time.Now().UnixNano())
+}
+
+// scale is the intermediate hop; it is tainted only via its callee's
+// summary.
+func scale() float64 {
+	return jitter() / 1e9
+}
+
+// Run stores a transitively wall-clock-derived value into the result:
+// flagged through two call hops, which the syntactic determinism check
+// cannot see.
+func Run() *Result {
+	return &Result{Metric: scale()} // want `sim\.Result\.Metric receives a value derived from time\.Now \(wall clock\) \(via sim\.scale → sim\.jitter\)`
+}
+
+// RunPower pulls the taint across a package boundary via the summary
+// of power.Sample.
+func RunPower() Result {
+	var r Result
+	r.Metric = power.Sample() // want `sim\.Result\.Metric receives a value derived from time\.Now \(wall clock\) \(via power\.Sample\)`
+	return r
+}
+
+// unsortedKeys lets map iteration order escape into a slice; its
+// summary carries the order taint.
+func unsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// RunKeys publishes the unsorted keys: flagged through the call.
+func RunKeys(m map[string]int) Result {
+	return Result{Keys: unsortedKeys(m)} // want `sim\.Result\.Keys receives a value derived from map iteration order \(via sim\.unsortedKeys\)`
+}
+
+// RunSortedKeys sorts first: sorting sanitizes the order taint.
+func RunSortedKeys(m map[string]int) Result {
+	keys := unsortedKeys(m)
+	sort.Strings(keys)
+	return Result{Keys: keys}
+}
+
+// RunRand draws from the global math/rand source: flagged.
+func RunRand() Result {
+	return Result{Metric: rand.Float64()} // want `sim\.Result\.Metric receives a value derived from the global math/rand source \(rand\.Float64\)`
+}
+
+// RunSeeded derives everything from an explicit seed: quiet.
+func RunSeeded(seed int64) Result {
+	r := rand.New(rand.NewSource(seed))
+	return Result{Metric: r.Float64()}
+}
+
+// RunInstrumented is the escape hatch: taint suppressed at its source.
+func RunInstrumented() (res Result) {
+	start := time.Now()          //mcrlint:allow detflow wall-clock instrumentation
+	res.Wall = time.Since(start) //mcrlint:allow detflow wall-clock instrumentation
+	return res
+}

@@ -1,0 +1,71 @@
+package runplan
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// Held across a channel send: flagged.
+func sendUnderLock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	ch <- 1 // want `mutex mu is held across a channel send`
+	mu.Unlock()
+}
+
+// Released before the send: quiet.
+func sendAfterUnlock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	v := 1
+	mu.Unlock()
+	ch <- v
+}
+
+// A deferred unlock keeps the lock held through the wait: flagged.
+func recvUnderDeferredLock(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	return <-ch // want `mutex mu is held across a channel receive \(ch\)`
+}
+
+// A select with a default never blocks: quiet.
+func pollUnderLock(mu *sync.Mutex, ch chan int) int {
+	mu.Lock()
+	defer mu.Unlock()
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+// Waiting on ctx.Done under a read lock: flagged.
+func waitUnderRLock(mu *sync.RWMutex, ctx context.Context) {
+	mu.RLock()
+	defer mu.RUnlock()
+	select { // want `mutex mu \(RLock\) is held across a select with no default`
+	case <-ctx.Done():
+	}
+}
+
+// An entire simulation under a lock: flagged via the long-running list.
+func runUnderLock(mu *sync.Mutex, cfg sim.Config) (*sim.Result, error) {
+	mu.Lock()
+	defer mu.Unlock()
+	return sim.Run(cfg) // want `mutex mu is held across a call to sim\.Run \(an entire simulation run\)`
+}
+
+// forward blocks on a channel send; its summary records that.
+func forward(ch chan int, v int) {
+	ch <- v
+}
+
+// The blocking wait hides one call below the lock: flagged through the
+// callee's summary.
+func forwardUnderLock(mu *sync.Mutex, ch chan int) {
+	mu.Lock()
+	forward(ch, 1) // want `mutex mu is held across a call to runplan\.forward, which can block on a channel send`
+	mu.Unlock()
+}

@@ -1,0 +1,12 @@
+package sim
+
+// Config and Result mirror the real simulation entry-point shapes.
+type Config struct{}
+
+type Result struct{}
+
+// Run stands in for the whole-simulation entry point on the lockscope
+// long-running list.
+func Run(cfg Config) (*Result, error) {
+	return &Result{}, nil
+}

@@ -246,7 +246,7 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 					res, err := e.runSpec(ctx, run, en.cfg, en.workload, en.config, true)
 					en.res, en.err = res, err
 					if res != nil {
-						en.stats = RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts}
+						en.stats = RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts} //mcrlint:allow detflow RunStats.Wall is throughput instrumentation, never a simulated quantity
 					}
 					close(en.done)
 					if err != nil {
@@ -293,7 +293,7 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 					}
 					continue
 				}
-				stats := RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts}
+				stats := RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts} //mcrlint:allow detflow RunStats.Wall is throughput instrumentation, never a simulated quantity
 				r := Result{Workload: s.Workload, Config: s.Config, Run: res, Stats: stats}
 				if en != nil {
 					r.Base = en.res

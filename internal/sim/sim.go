@@ -212,7 +212,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res.Wall = time.Since(start)
+	res.Wall = time.Since(start) //mcrlint:allow detflow Result.Wall is documented host wall-clock instrumentation
 	return res, nil
 }
 
