@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -23,11 +25,39 @@ import (
 	"repro/internal/fault"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/runplan"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
+
+// startPprof serves net/http/pprof on addr when non-empty (host profiling
+// of the simulator itself, unrelated to simulated-cycle observability).
+func startPprof(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "mcrsim: pprof:", err)
+		}
+	}()
+}
+
+// writeChromeTrace exports one or more labelled tracers as a single
+// Chrome trace_event JSON file (load in Perfetto / chrome://tracing).
+func writeChromeTrace(path string, groups []obs.TraceGroup) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeGroups(f, groups); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 // parseMode validates the -k/-m/-region flags with explicit choice lists
 // instead of silent fallthrough.
@@ -108,8 +138,12 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		histogram = flag.Bool("hist", false, "print the read-latency histogram")
 		full      = flag.Bool("report", false, "print the full run report instead of the summary")
+		metrics   = flag.Bool("metrics", false, "attach the cycle-domain observability registry (stall attribution, per-bank commands)")
+		traceOut  = flag.String("trace-out", "", "write the run's command/policy events as Chrome trace_event JSON to this file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
+	startPprof(*pprofAddr)
 
 	if *list {
 		for _, w := range trace.Workloads() {
@@ -184,15 +218,31 @@ func main() {
 	defer stop()
 
 	if *compare {
-		if err := runCompare(ctx, cfg, mode, *jobs, *verbose); err != nil {
+		if err := runCompare(ctx, cfg, mode, *jobs, *verbose, *metrics, *traceOut); err != nil {
 			fatal(err)
 		}
 		return
 	}
 
+	if *metrics {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+		cfg.Trace = tracer
+	}
 	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		fatal(err)
+	}
+	if *traceOut != "" {
+		label := mode.String() + " " + strings.Join(cfg.Workloads, "+")
+		if err := writeChromeTrace(*traceOut, []obs.TraceGroup{{Label: label, Events: tracer.Events()}}); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "mcrsim: wrote %d trace events to %s (%d dropped by the ring)\n",
+			tracer.Len(), *traceOut, tracer.Dropped())
 	}
 
 	if *jsonOut {
@@ -230,6 +280,20 @@ func main() {
 		fmt.Printf("resilience        : %d ECC events, %d quarantined rows, %d downgrades (%s -> %s)\n",
 			rs.ECCEvents, rs.QuarantinedRows, rs.Downgrades, rs.InitialMode, rs.FinalMode)
 	}
+	if o := res.Obs; o != nil {
+		t := o.Stall.Total()
+		pctOf := func(c obs.StallComponent) float64 {
+			if t == 0 {
+				return 0
+			}
+			return float64(o.Stall[c]) / float64(t) * 100
+		}
+		fmt.Printf("stall attribution : queue %.1f%%, tRAS %.1f%%, tRFC %.1f%%, tRP %.1f%%, tRCD %.1f%%, bus %.1f%%\n",
+			pctOf(obs.StallQueue), pctOf(obs.StallRASTail), pctOf(obs.StallRFC),
+			pctOf(obs.StallRP), pctOf(obs.StallRCD), pctOf(obs.StallBus))
+		fmt.Printf("commands          : ACT %d, PRE %d, RD %d, WR %d, REF %d (debt peak %d)\n",
+			o.Commands["ACT"], o.Commands["PRE"], o.Commands["RD"], o.Commands["WR"], o.Commands["REF"], o.RefreshDebtPeak)
+	}
 	if *check {
 		if len(res.Integrity) == 0 {
 			fmt.Println("integrity         : OK (no retention violations)")
@@ -246,18 +310,32 @@ func main() {
 
 // runCompare runs the configured variant and its MCR-off baseline through
 // the pooled executor and prints the comparison block.
-func runCompare(ctx context.Context, cfg sim.Config, mode mcr.Mode, jobs int, verbose bool) error {
+func runCompare(ctx context.Context, cfg sim.Config, mode mcr.Mode, jobs int, verbose, metrics bool, traceOut string) error {
 	plan := &runplan.Plan{Name: "mcrsim"}
 	plan.AddPair(strings.Join(cfg.Workloads, "+"), mode.String(), cfg, experiments.BaselineOf(cfg))
-	ex := runplan.Executor{Jobs: jobs}
+	ex := runplan.Executor{Jobs: jobs, Metrics: metrics}
+	if traceOut != "" {
+		ex.TraceCap = obs.DefaultTraceCap
+	}
 	if verbose {
-		ex.Sink = runplan.LineSink(os.Stderr)
+		if metrics {
+			ex.Sink = runplan.ObsLineSink(os.Stderr)
+		} else {
+			ex.Sink = runplan.LineSink(os.Stderr)
+		}
 	}
 	results, err := ex.Execute(ctx, plan)
 	if err != nil {
 		return err
 	}
 	r := results[0]
+	if traceOut != "" {
+		groups := []obs.TraceGroup{{Label: "baseline", Events: r.BaseTrace.Events()},
+			{Label: mode.String(), Events: r.Trace.Events()}}
+		if err := writeChromeTrace(traceOut, groups); err != nil {
+			return err
+		}
+	}
 	return report.Compare(os.Stdout, mode.String(), r.Base, r.Run)
 }
 

@@ -17,6 +17,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprof serves the default mux
 	"os"
 	"os/signal"
 	"strings"
@@ -24,9 +26,17 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 	"repro/internal/runplan"
 	"repro/internal/trace"
 )
+
+// collectedTraces accumulates every sweep's event-trace groups when
+// -trace-out is set; main writes them as one Chrome trace_event file.
+var collectedTraces []obs.TraceGroup
+
+// collectTraces folds one sweep's traces into the collector.
+func collectTraces(s *experiments.Sweep) { collectedTraces = append(collectedTraces, s.Traces...) }
 
 // validFigs are the reproducible figure/table numbers.
 var validFigs = []int{3, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18}
@@ -86,11 +96,22 @@ func main() {
 		keepGoing   = flag.Bool("keep-going", false, "record per-cell failures and finish the sweep instead of stopping at the first error")
 		retries     = flag.Int("retries", 0, "additional attempts for a failed simulation")
 		specTimeout = flag.Duration("spec-timeout", 0, "wall-clock bound per simulation attempt (0 = unbounded)")
+
+		metrics   = flag.Bool("metrics", false, "attach an observability registry per simulation (adds an obs summary to -v progress lines)")
+		traceOut  = flag.String("trace-out", "", "write every variant run's command/policy events as one Chrome trace_event JSON file")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
 
 	if err := validateMetric(*metric); err != nil {
 		fatal(err)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "reproduce: pprof:", err)
+			}
+		}()
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -100,9 +121,17 @@ func main() {
 		Insts: *insts, Seed: *seed, Jobs: *jobs, Context: ctx,
 		KeepGoing: *keepGoing, Retries: *retries, SpecTimeout: *specTimeout,
 		RetryBackoff: 100 * time.Millisecond,
+		Metrics:      *metrics,
+	}
+	if *traceOut != "" {
+		opt.TraceCap = obs.DefaultTraceCap
 	}
 	if *verbose {
-		opt.Progress = runplan.LineSink(os.Stderr)
+		if *metrics {
+			opt.Progress = runplan.ObsLineSink(os.Stderr)
+		} else {
+			opt.Progress = runplan.LineSink(os.Stderr)
+		}
 	}
 
 	if *extra != "" {
@@ -112,6 +141,7 @@ func main() {
 		if err := runExtra(*extra, opt, *metric, *seeds); err != nil {
 			fatal(fmt.Errorf("extra %s: %w", *extra, err))
 		}
+		writeTraces(*traceOut)
 		return
 	}
 
@@ -132,6 +162,31 @@ func main() {
 		}
 		fmt.Println()
 	}
+	writeTraces(*traceOut)
+}
+
+// writeTraces exports the collected sweep traces as one Chrome
+// trace_event file (one trace-viewer process per sweep cell).
+func writeTraces(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	if err := obs.WriteChromeGroups(f, collectedTraces); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	n := 0
+	for _, g := range collectedTraces {
+		n += len(g.Events)
+	}
+	fmt.Fprintf(os.Stderr, "reproduce: wrote %d trace events (%d runs) to %s\n", n, len(collectedTraces), path)
 }
 
 func fatal(err error) {
@@ -200,6 +255,7 @@ func run(fig int, opt experiments.Options, metric string) error {
 			if err != nil {
 				return err
 			}
+			collectTraces(s)
 			if err := experiments.WriteSweep(os.Stdout, s, "exec"); err != nil {
 				return err
 			}
@@ -211,6 +267,7 @@ func run(fig int, opt experiments.Options, metric string) error {
 			if err != nil {
 				return err
 			}
+			collectTraces(s)
 			if err := experiments.WriteSweep(os.Stdout, s, "edp"); err != nil {
 				return err
 			}
@@ -275,8 +332,10 @@ func runExtra(name string, opt experiments.Options, metric string, seeds int) er
 }
 
 // writeBoth prints the requested metric, or exec+readlat tables when the
-// default is selected (the paper's figures show both).
+// default is selected (the paper's figures show both). It also folds the
+// sweep's event traces into the -trace-out collector.
 func writeBoth(s *experiments.Sweep, metric string) error {
+	collectTraces(s)
 	if metric != "exec" {
 		return experiments.WriteSweep(os.Stdout, s, metric)
 	}

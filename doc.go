@@ -29,8 +29,20 @@
 //
 //	mode, _ := mcrdram.NewMode(4, 4, 1.0) // mode [4/4x/100%reg]
 //	cfg := mcrdram.SingleCore("tigr", mode)
-//	res, err := mcrdram.Simulate(cfg)
+//	res, err := mcrdram.Run(ctx, cfg)
 //	// res.ExecCPUCycles, res.AvgReadLatencyNS, res.EDPNJs ...
+//
+// Run accepts functional options for cross-cutting concerns: WithMetrics
+// attaches the cycle-domain observability registry (internal/obs — per-bank
+// command counts, row-buffer outcomes, per-read stall attribution),
+// WithTrace a bounded event tracer with a Chrome trace_event exporter,
+// WithIntegrity the retention-safety checker and WithResilience the
+// graceful-degradation policy:
+//
+//	metrics, tracer := mcrdram.NewMetrics(), mcrdram.NewTracer(0)
+//	res, err := mcrdram.Run(ctx, cfg,
+//	    mcrdram.WithMetrics(metrics), mcrdram.WithTrace(tracer))
+//	// res.Obs.Stall, res.Obs.Commands ...; tracer.WriteChrome(f, "run")
 //
 // See examples/ for runnable programs and cmd/reproduce for the paper's
 // evaluation.

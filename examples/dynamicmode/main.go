@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	fmt.Println("Table 2 physical address mapping (4-bit row space):")
 	fmt.Printf("%-10s %-12s %-22s\n", "mode", "OS size", "accessible rows (R1R0)")
 	for _, step := range []struct {
@@ -56,7 +58,7 @@ func main() {
 	for _, r := range []rung{{m4, "1 GB"}, {m2, "2 GB"}, {off, "4 GB"}} {
 		cfg := mcrdram.SingleCore(workload, r.mode)
 		cfg.InstsPerCore = insts
-		res, err := mcrdram.Simulate(cfg)
+		res, err := mcrdram.Run(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

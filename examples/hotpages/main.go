@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,12 +18,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const workload = "comm2"
 	const insts = 800_000
 
 	baseline := mcrdram.SingleCore(workload, mcrdram.ModeOff())
 	baseline.InstsPerCore = insts
-	base, err := mcrdram.Simulate(baseline)
+	base, err := mcrdram.Run(ctx, baseline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func main() {
 		cfg := mcrdram.SingleCore(workload, mode)
 		cfg.InstsPerCore = insts
 		cfg.AllocRatio = ratio
-		res, err := mcrdram.Simulate(cfg)
+		res, err := mcrdram.Run(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,10 +16,11 @@ import (
 func main() {
 	const workload = "tigr"
 	const insts = 1_000_000
+	ctx := context.Background()
 
 	baseline := mcrdram.SingleCore(workload, mcrdram.ModeOff())
 	baseline.InstsPerCore = insts
-	base, err := mcrdram.Simulate(baseline)
+	base, err := mcrdram.Run(ctx, baseline)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -29,7 +31,11 @@ func main() {
 	}
 	cfg := mcrdram.SingleCore(workload, mode)
 	cfg.InstsPerCore = insts
-	res, err := mcrdram.Simulate(cfg)
+	// WithMetrics attaches the cycle-domain observability registry; its
+	// snapshot lands in res.Obs (row-buffer outcomes, per-bank command
+	// counts, stall attribution).
+	metrics := mcrdram.NewMetrics()
+	res, err := mcrdram.Run(ctx, cfg, mcrdram.WithMetrics(metrics))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -47,4 +53,11 @@ func main() {
 		base.EDPNJs, res.EDPNJs, pct(base.EDPNJs, res.EDPNJs))
 	fmt.Printf("\nMCR served %.1f%% of reads; %d of %d refreshes used Fast-Refresh\n",
 		res.MCRRequestFraction*100, res.Dev.MCRRefreshes, res.Dev.Refreshes)
+	if o := res.Obs; o != nil {
+		total := o.RowHits + o.RowMisses + o.RowConflicts
+		if total > 0 {
+			fmt.Printf("row buffer: %.1f%% hits over %d accesses (%d ACTs issued)\n",
+				float64(o.RowHits)/float64(total)*100, total, o.Commands["ACT"])
+		}
+	}
 }

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -19,12 +20,13 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	mix := []string{"comm2", "leslie", "stream", "tigr"}
 	const insts = 250_000
 
 	baseCfg := mcrdram.MultiCore(mix, mcrdram.ModeOff(), false)
 	baseCfg.InstsPerCore = insts
-	base, err := mcrdram.Simulate(baseCfg)
+	base, err := mcrdram.Run(ctx, baseCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +41,7 @@ func main() {
 		}
 		cfg := mcrdram.MultiCore(mix, mode, false)
 		cfg.InstsPerCore = insts
-		res, err := mcrdram.Simulate(cfg)
+		res, err := mcrdram.Run(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -36,6 +36,7 @@ var detflowSinkTypes = []struct{ pathSuffix, name string }{
 	{"internal/sim", "Result"},
 	{"internal/runplan", "Result"},
 	{"internal/runplan", "RunStats"},
+	{"internal/obs", "Snapshot"},
 }
 
 func runDetFlow(pass *Pass) {

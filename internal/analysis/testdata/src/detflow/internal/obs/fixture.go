@@ -1,0 +1,41 @@
+package obs
+
+import "time"
+
+// Snapshot mirrors the real obs.Snapshot shape the sink rules key on:
+// exported metric values must be cycle-domain quantities, pure functions
+// of config and seed, never wall-clock readings.
+type Snapshot struct {
+	Reads           int64
+	RefreshDebtPeak int64
+}
+
+// hostNanos reads the wall clock: the taint source one frame below
+// Capture, visible only through its summary.
+func hostNanos() int64 {
+	return time.Now().UnixNano()
+}
+
+// Capture stores a wall-clock-derived value into an exported metric
+// field: flagged through the call hop.
+func Capture() *Snapshot {
+	return &Snapshot{Reads: hostNanos()} // want `obs\.Snapshot\.Reads receives a value derived from time\.Now \(wall clock\) \(via obs\.hostNanos\)`
+}
+
+// CaptureField taints via a field store rather than a composite literal.
+func CaptureField() *Snapshot {
+	s := &Snapshot{}
+	s.RefreshDebtPeak = hostNanos() // want `obs\.Snapshot\.RefreshDebtPeak receives a value derived from time\.Now \(wall clock\) \(via obs\.hostNanos\)`
+	return s
+}
+
+// CaptureCycles publishes a cycle-domain counter: quiet.
+func CaptureCycles(reads int64) *Snapshot {
+	return &Snapshot{Reads: reads}
+}
+
+// CaptureAllowed is the escape hatch: taint suppressed at its source.
+func CaptureAllowed() *Snapshot {
+	now := time.Now().UnixNano() //mcrlint:allow detflow wall-clock instrumentation
+	return &Snapshot{RefreshDebtPeak: now}
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 )
 
 // SchedulerPolicy selects the command scheduling algorithm.
@@ -106,13 +107,21 @@ func (c Config) Validate() error {
 	return nil
 }
 
-// request is one queued memory request.
+// request is one queued memory request. preAt/actAt record when the
+// request's own PRE/ACT issued (-1 until then); rasBlocked/refBlocked
+// count scheduler cycles the request's next command was gated by the
+// open row's tRAS/tWR window or a refresh in flight. The stall
+// accounter (internal/obs) partitions the retired latency from these
+// markers.
 type request struct {
 	id       int64
 	kind     core.OpKind
 	addr     core.Address
 	coreID   int
 	arriveAt int64
+
+	preAt, actAt           int64
+	rasBlocked, refBlocked int64
 }
 
 // Completion reports a finished read back to the CPU model.
@@ -167,6 +176,11 @@ type Controller struct {
 	// pendingMode, when non-nil, is a requested MRS mode switch the
 	// controller is draining toward (see modechange.go).
 	pendingMode *mcr.Mode
+
+	// obs/tr, when non-nil, receive row-buffer outcomes, the per-read
+	// stall attribution and MRS events; nil-safe no-ops otherwise.
+	obs *obs.Registry
+	tr  *obs.Tracer
 }
 
 // New builds a controller over a device, applying the given row allocation
@@ -210,6 +224,12 @@ func (c *Controller) Mapper() *AddressMapper { return c.mapper }
 // Stats returns a copy of the counters.
 func (c *Controller) Stats() Stats { return c.stats }
 
+// SetObservability attaches a metrics registry and an event tracer
+// (either may be nil). Attach before the first Tick.
+func (c *Controller) SetObservability(reg *obs.Registry, tr *obs.Tracer) {
+	c.obs, c.tr = reg, tr
+}
+
 // decode maps a line number to its final DRAM coordinates, applying the
 // profile-based row allocation.
 func (c *Controller) decode(line int64) core.Address {
@@ -243,12 +263,15 @@ func (c *Controller) EnqueueRead(line int64, coreID int, now int64) (int64, bool
 			c.stats.ReadsQueued++
 			c.stats.ReadsDone++
 			c.stats.TotalReadLatency++
+			// Forwarded reads never touch the device: their one cycle is
+			// pure queueing in the stall attribution.
+			c.obs.ObserveRead(obs.AttributeRead(now, -1, -1, now+1, now+1, 0, 0))
 			return id, true
 		}
 	}
 	id := c.nextID
 	c.nextID++
-	c.readQ[a.Channel] = append(c.readQ[a.Channel], request{id: id, kind: core.OpRead, addr: a, coreID: coreID, arriveAt: now})
+	c.readQ[a.Channel] = append(c.readQ[a.Channel], request{id: id, kind: core.OpRead, addr: a, coreID: coreID, arriveAt: now, preAt: -1, actAt: -1})
 	c.stats.ReadsQueued++
 	return id, true
 }
@@ -260,7 +283,7 @@ func (c *Controller) EnqueueWrite(line int64, coreID int, now int64) bool {
 	if len(c.writeQ[a.Channel]) >= c.cfg.WriteQueueCap {
 		return false
 	}
-	c.writeQ[a.Channel] = append(c.writeQ[a.Channel], request{id: -1, kind: core.OpWrite, addr: a, coreID: coreID, arriveAt: now})
+	c.writeQ[a.Channel] = append(c.writeQ[a.Channel], request{id: -1, kind: core.OpWrite, addr: a, coreID: coreID, arriveAt: now, preAt: -1, actAt: -1})
 	c.stats.WritesQueued++
 	return true
 }

@@ -10,6 +10,7 @@ package controller
 import (
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 )
 
 // RequestModeChange asks the controller to switch the device to the given
@@ -54,6 +55,8 @@ func (c *Controller) tickModeChange(now int64) {
 	}
 	c.tREFI = int64(c.dev.Timings().Normal.TREFI)
 	c.stats.ModeChanges++
+	c.obs.ModeChange()
+	c.tr.Emit(obs.Event{TS: now, Kind: obs.EvMRS, Channel: -1, Rank: -1, Bank: -1, Row: -1, Arg: int64(mode.K)})
 }
 
 // drainChannel precharges (at most) one open bank of the channel and

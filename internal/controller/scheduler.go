@@ -3,7 +3,10 @@
 
 package controller
 
-import "repro/internal/core"
+import (
+	"repro/internal/core"
+	"repro/internal/obs"
+)
 
 // Tick runs one memory cycle: it updates refresh obligations and issues at
 // most one DRAM command per channel. Completed reads become Completions
@@ -47,6 +50,7 @@ func (c *Controller) updateRefreshDebt(ch int, now int64) {
 		for now >= rr.nextDue {
 			rr.debt++
 			rr.nextDue += c.tREFI
+			c.obs.ObserveRefreshDebt(rr.debt)
 		}
 	}
 }
@@ -170,16 +174,16 @@ func (c *Controller) schedulePass(ch int, q []request, now int64) bool {
 		return false
 	}
 	if c.cfg.Scheduler == FCFS {
-		return c.advanceRequest(ch, q[0], now)
+		return c.advanceRequest(ch, &q[0], now)
 	}
 	// Anti-starvation: once the oldest request has waited past the limit,
 	// stop letting younger row hits bypass it.
 	if lim := c.cfg.StarvationLimit; lim > 0 && now-q[0].arriveAt > lim {
-		return c.advanceRequest(ch, q[0], now)
+		return c.advanceRequest(ch, &q[0], now)
 	}
 	// First-ready: oldest request whose column access is legal this cycle.
 	for i := range q {
-		req := q[i]
+		req := &q[i]
 		if c.dev.IsRowHit(req.addr) && c.tryColumn(ch, req, now) {
 			return true
 		}
@@ -189,7 +193,7 @@ func (c *Controller) schedulePass(ch int, q []request, now int64) bool {
 	// skipping banks already claimed by an earlier request this pass.
 	touched := make(map[int]bool, 8)
 	for i := range q {
-		req := q[i]
+		req := &q[i]
 		bid := req.addr.BankID(c.geom)
 		if touched[bid] {
 			continue
@@ -204,7 +208,7 @@ func (c *Controller) schedulePass(ch int, q []request, now int64) bool {
 
 // advanceRequest moves a single request forward by whatever command it
 // needs next (FCFS path).
-func (c *Controller) advanceRequest(ch int, req request, now int64) bool {
+func (c *Controller) advanceRequest(ch int, req *request, now int64) bool {
 	if c.dev.IsRowHit(req.addr) {
 		return c.tryColumn(ch, req, now)
 	}
@@ -213,31 +217,38 @@ func (c *Controller) advanceRequest(ch int, req request, now int64) bool {
 
 // tryColumn issues the RD/WR of a row-hitting request if legal, retiring it
 // from its queue.
-func (c *Controller) tryColumn(ch int, req request, now int64) bool {
+func (c *Controller) tryColumn(ch int, req *request, now int64) bool {
 	if req.kind == core.OpRead {
 		if !c.dev.CanRead(req.addr, now) {
 			return false
 		}
 		c.stats.RowHits++
+		c.obs.RowHit()
 		done := c.dev.Read(req.addr, now)
-		c.removeRequest(&c.readQ[ch], req.id)
-		c.completions = append(c.completions, Completion{ID: req.id, CoreID: req.coreID, DoneAt: done, ArriveAt: req.arriveAt})
+		// Copy before removal: req points into the queue, and removal
+		// shifts later requests into its slot.
+		r := *req
+		c.removeRequest(&c.readQ[ch], r.id)
+		c.completions = append(c.completions, Completion{ID: r.id, CoreID: r.coreID, DoneAt: done, ArriveAt: r.arriveAt})
 		c.stats.ReadsDone++
-		c.stats.TotalReadLatency += done - req.arriveAt
-		if _, inMCR := c.dev.RowParams(req.addr.Row); inMCR {
+		c.stats.TotalReadLatency += done - r.arriveAt
+		c.obs.ObserveRead(obs.AttributeRead(r.arriveAt, r.preAt, r.actAt, now, done, r.rasBlocked, r.refBlocked))
+		if _, inMCR := c.dev.RowParams(r.addr.Row); inMCR {
 			c.stats.MCRReads++
 		}
-		c.postColumn(req.addr, now)
+		c.postColumn(r.addr, now)
 		return true
 	}
 	if !c.dev.CanWrite(req.addr, now) {
 		return false
 	}
 	c.stats.RowHits++
+	c.obs.RowHit()
 	c.dev.Write(req.addr, now)
-	c.removeWrite(&c.writeQ[ch], req)
+	r := *req
+	c.removeWrite(&c.writeQ[ch], r)
 	c.stats.WritesDone++
-	c.postColumn(req.addr, now)
+	c.postColumn(r.addr, now)
 	return true
 }
 
@@ -252,21 +263,39 @@ func (c *Controller) postColumn(a core.Address, now int64) {
 	}
 }
 
-// prepareBank issues PRE (row conflict) or ACT (closed bank) for a request.
-func (c *Controller) prepareBank(ch int, req request, now int64) bool {
+// prepareBank issues PRE (row conflict) or ACT (closed bank) for a request,
+// stamping the request's stall-attribution markers. Blocked attempts before
+// the request's own PRE/ACT are classified: refresh in flight on the rank
+// counts toward tRFC, an open row still inside its tRAS/tWR window toward
+// the tRAS tail; everything else stays queueing by default.
+func (c *Controller) prepareBank(ch int, req *request, now int64) bool {
 	open := c.dev.OpenRow(req.addr)
 	switch {
 	case open < 0:
 		if c.dev.CanActivate(req.addr, now) {
 			c.dev.Activate(req.addr, now)
 			c.stats.RowMisses++
+			c.obs.RowMiss()
+			req.actAt = now
 			return true
+		}
+		if req.preAt < 0 && req.actAt < 0 && c.dev.RefreshBusy(req.addr.Channel, req.addr.Rank, now) {
+			req.refBlocked++
 		}
 	case !c.dev.IsRowHit(req.addr):
 		if c.dev.CanPrecharge(req.addr, now) {
 			c.dev.Precharge(req.addr, now)
 			c.stats.RowConflicts++
+			c.obs.RowConflict()
+			req.preAt = now
 			return true
+		}
+		if req.preAt < 0 {
+			if c.dev.RefreshBusy(req.addr.Channel, req.addr.Rank, now) {
+				req.refBlocked++
+			} else {
+				req.rasBlocked++
+			}
 		}
 	}
 	return false

@@ -10,7 +10,21 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 )
+
+// emit pushes one command event into the attached tracer (no-op when
+// tracing is off).
+func (d *Device) emit(kind obs.EventKind, ts, dur int64, a core.Address, row int, arg int64) {
+	if d.tr == nil {
+		return
+	}
+	d.tr.Emit(obs.Event{
+		TS: ts, Dur: dur, Kind: kind,
+		Channel: int32(a.Channel), Rank: int32(a.Rank), Bank: int32(a.Bank),
+		Row: int32(row), Arg: arg,
+	})
+}
 
 // fawGate returns the earliest cycle a new ACT may issue to the rank under
 // the rolling four-activate window.
@@ -62,6 +76,12 @@ func (d *Device) Activate(a core.Address, now int64) {
 	if inMCR {
 		d.stats.MCRActivates++
 	}
+	d.obs.IncCommand(obs.CmdACT, a.BankID(d.cfg.Geom))
+	var gangK int64
+	if inMCR {
+		gangK = int64(d.lgen.KAt(a.Row))
+	}
+	d.emit(obs.EvACT, now, int64(p.TRCD), a, a.Row, gangK)
 	if d.hook != nil {
 		d.hook.Activated(a, now)
 	}
@@ -110,6 +130,8 @@ func (d *Device) Read(a core.Address, now int64) int64 {
 	d.nextCol[a.Channel] = now + int64(d.tim.Normal.TCCD)
 	b.nextPre = max64(b.nextPre, now+int64(d.tim.Normal.TRTP))
 	d.stats.Reads++
+	d.obs.IncCommand(obs.CmdRD, a.BankID(d.cfg.Geom))
+	d.emit(obs.EvRD, now, end-now, a, a.Row, 0)
 	return end
 }
 
@@ -156,6 +178,8 @@ func (d *Device) Write(a core.Address, now int64) int64 {
 	b.nextPre = max64(b.nextPre, end+int64(d.tim.Normal.TWR))
 	rk.nextReadOK = max64(rk.nextReadOK, end+int64(d.tim.Normal.TWTR))
 	d.stats.Writes++
+	d.obs.IncCommand(obs.CmdWR, a.BankID(d.cfg.Geom))
+	d.emit(obs.EvWR, now, end-now, a, a.Row, 0)
 	return end
 }
 
@@ -187,6 +211,8 @@ func (d *Device) Precharge(a core.Address, now int64) {
 	b.openMCR = false
 	b.nextAct = max64(b.nextAct, now+int64(d.tim.Normal.TRP))
 	d.stats.Precharges++
+	d.obs.IncCommand(obs.CmdPRE, a.BankID(d.cfg.Geom))
+	d.emit(obs.EvPRE, now, int64(d.tim.Normal.TRP), a, closed, 0)
 	if d.hook != nil {
 		d.hook.Precharged(a, closed, d.MEff(closed), now)
 	}
@@ -227,6 +253,7 @@ func (d *Device) Refresh(ch, rankID int, counter int, now int64) (mcr.LayoutRefr
 	}
 	if op.Skipped && d.cfg.Mech.RefreshSkipping {
 		d.stats.SkippedRefreshes++
+		d.emit(obs.EvREFSkip, now, 0, core.Address{Channel: ch, Rank: rankID, Bank: -1}, -1, int64(counter))
 		return op, now
 	}
 	op.Skipped = false // skipping disabled: the REF really happens
@@ -251,6 +278,13 @@ func (d *Device) Refresh(ch, rankID int, counter int, now int64) (mcr.LayoutRefr
 		b.nextAct = max64(b.nextAct, done)
 	}
 	d.stats.Refreshes++
+	if d.obs != nil {
+		base := (ch*g.Ranks + rankID) * g.Banks
+		for bk := 0; bk < g.Banks; bk++ {
+			d.obs.IncCommand(obs.CmdREF, base+bk)
+		}
+	}
+	d.emit(obs.EvREF, now, tRFC, core.Address{Channel: ch, Rank: rankID, Bank: -1}, -1, int64(op.K))
 	if d.hook != nil {
 		d.hook.Refreshed(ch, rankID, op.Rows, d.refreshMEff(op.K, op.M), done)
 	}

@@ -6,6 +6,7 @@ package dram
 import (
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 	"repro/internal/timing"
 )
 
@@ -62,6 +63,11 @@ type Device struct {
 	nuat  *nuatState // non-nil for the NUAT-like comparison baseline
 	stats Stats
 	hook  Hook
+
+	// obs/tr, when non-nil, receive per-bank command counts and
+	// cycle-domain command events; both are nil-safe no-ops otherwise.
+	obs *obs.Registry
+	tr  *obs.Tracer
 
 	// quarantined rows are demoted to conventional 1x timing and full
 	// restore (graceful degradation after a detected fault); nil until the
@@ -153,6 +159,20 @@ func (d *Device) RefreshScheduler() *mcr.LayoutScheduler { return d.sched }
 
 // Stats returns a copy of the event counters.
 func (d *Device) Stats() Stats { return d.stats }
+
+// SetObservability attaches a metrics registry and an event tracer to
+// the command path (either may be nil — recording calls on nil
+// receivers are near-free no-ops).
+func (d *Device) SetObservability(reg *obs.Registry, tr *obs.Tracer) {
+	d.obs, d.tr = reg, tr
+}
+
+// RefreshBusy reports whether a refresh is in flight on the rank at the
+// given cycle; the controller's stall accounter uses it to classify
+// blocked command slots as tRFC stalls.
+func (d *Device) RefreshBusy(ch, rankID int, now int64) bool {
+	return d.ranks[ch*d.cfg.Geom.Ranks+rankID].refreshBusyUntil > now
+}
 
 func (d *Device) bankAt(a core.Address) *bank {
 	return &d.banks[a.BankID(d.cfg.Geom)]

@@ -16,6 +16,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dram"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/runplan"
 	"repro/internal/sim"
@@ -54,6 +55,12 @@ type Options struct {
 	SpecTimeout  time.Duration
 	Retries      int
 	RetryBackoff time.Duration
+	// Metrics attaches a fresh observability registry to every simulation
+	// (snapshots land in each result's Obs field and on progress events);
+	// TraceCap, when positive, attaches a ring-buffer event tracer of
+	// that capacity per run (runplan.Result.Trace). See runplan.Executor.
+	Metrics  bool
+	TraceCap int
 }
 
 // withDefaults fills unset options.
@@ -77,6 +84,7 @@ func (o Options) execute(plan *runplan.Plan) ([]runplan.Result, error) {
 		Jobs: o.Jobs, Sink: o.Progress,
 		SpecTimeout: o.SpecTimeout, Retries: o.Retries,
 		RetryBackoff: o.RetryBackoff, KeepGoing: o.KeepGoing,
+		Metrics: o.Metrics, TraceCap: o.TraceCap,
 	}
 	return ex.Execute(o.Context, plan)
 }
@@ -94,6 +102,9 @@ func (o Options) runSweep(plan *runplan.Plan) (*Sweep, error) {
 			continue // failed under KeepGoing; reported via err
 		}
 		s.Points = append(s.Points, SweepPoint{Workload: r.Workload, Config: r.Config, Reduction: reduce(r.Base, r.Run)})
+		if r.Trace != nil {
+			s.Traces = append(s.Traces, obs.TraceGroup{Label: r.Workload + " " + r.Config, Events: r.Trace.Events()})
+		}
 	}
 	s.averageByConfig()
 	// KeepGoing: return the partial sweep together with the joined

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dram"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 	"repro/internal/runplan"
 )
 
@@ -30,6 +31,10 @@ type Sweep struct {
 	Figure  string
 	Points  []SweepPoint
 	Average map[string]Reduction
+	// Traces holds one labelled event-trace group per variant run when
+	// Options.TraceCap was positive; export all of them into one Chrome
+	// trace_event file with obs.WriteChromeGroups.
+	Traces []obs.TraceGroup
 }
 
 // averageByConfig fills Sweep.Average.

@@ -1,0 +1,159 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestRegistryCounters(t *testing.T) {
+	r := NewRegistry()
+	r.EnsureBanks(4)
+	r.IncCommand(CmdACT, 0)
+	r.IncCommand(CmdACT, 0)
+	r.IncCommand(CmdRD, 3)
+	r.IncCommand(CmdREF, 1)
+	r.IncCommand(CmdWR, 99) // out of range: dropped
+	r.RowHit()
+	r.RowHit()
+	r.RowMiss()
+	r.RowConflict()
+	r.ObserveRefreshDebt(3)
+	r.ObserveRefreshDebt(1) // below peak: ignored
+	r.ModeChange()
+	r.Quarantine(4)
+	r.Violation()
+
+	s := r.Snapshot()
+	if got := s.Commands["ACT"]; got != 2 {
+		t.Errorf("ACT total = %d, want 2", got)
+	}
+	if got := s.PerBank["ACT"][0]; got != 2 {
+		t.Errorf("ACT bank0 = %d, want 2", got)
+	}
+	if got := s.Commands["RD"]; got != 1 {
+		t.Errorf("RD total = %d, want 1", got)
+	}
+	if got := s.Commands["WR"]; got != 0 {
+		t.Errorf("out-of-range WR counted: %d", got)
+	}
+	if s.RowHits != 2 || s.RowMisses != 1 || s.RowConflicts != 1 {
+		t.Errorf("row counters = %d/%d/%d, want 2/1/1", s.RowHits, s.RowMisses, s.RowConflicts)
+	}
+	if s.RefreshDebtPeak != 3 {
+		t.Errorf("refresh debt peak = %d, want 3", s.RefreshDebtPeak)
+	}
+	if s.ModeChanges != 1 || s.QuarantinedRows != 4 || s.Violations != 1 {
+		t.Errorf("policy counters = %d/%d/%d, want 1/4/1", s.ModeChanges, s.QuarantinedRows, s.Violations)
+	}
+}
+
+func TestEnsureBanksPreservesCounts(t *testing.T) {
+	r := NewRegistry()
+	r.EnsureBanks(2)
+	r.IncCommand(CmdPRE, 1)
+	r.EnsureBanks(8)
+	r.IncCommand(CmdPRE, 7)
+	s := r.Snapshot()
+	if s.PerBank["PRE"][1] != 1 || s.PerBank["PRE"][7] != 1 {
+		t.Errorf("PRE per-bank after growth = %v", s.PerBank["PRE"])
+	}
+	r.EnsureBanks(4) // shrink request: no-op
+	if r.Banks() != 8 {
+		t.Errorf("Banks() = %d after shrink request, want 8", r.Banks())
+	}
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	if r.Enabled() {
+		t.Fatal("nil registry reports enabled")
+	}
+	// None of these may panic.
+	r.EnsureBanks(4)
+	r.IncCommand(CmdACT, 0)
+	r.RowHit()
+	r.RowMiss()
+	r.RowConflict()
+	r.ObserveRead(StallBreakdown{})
+	r.ObserveRefreshDebt(5)
+	r.ModeChange()
+	r.Quarantine(1)
+	r.Violation()
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot non-nil")
+	}
+}
+
+// TestRegistryZeroAlloc pins the zero-allocation contract of the
+// increment path, disabled (nil registry) and enabled alike.
+func TestRegistryZeroAlloc(t *testing.T) {
+	var nilReg *Registry
+	if n := testing.AllocsPerRun(100, func() {
+		nilReg.IncCommand(CmdACT, 3)
+		nilReg.RowHit()
+		nilReg.ObserveRead(StallBreakdown{1, 2, 3, 4, 5, 6})
+		nilReg.ObserveRefreshDebt(2)
+	}); n != 0 {
+		t.Errorf("disabled counter path allocates %.1f/op, want 0", n)
+	}
+	r := NewRegistry()
+	r.EnsureBanks(16)
+	if n := testing.AllocsPerRun(100, func() {
+		r.IncCommand(CmdACT, 3)
+		r.RowHit()
+		r.ObserveRead(StallBreakdown{1, 2, 3, 4, 5, 6})
+		r.ObserveRefreshDebt(2)
+	}); n != 0 {
+		t.Errorf("enabled counter path allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestObserveReadHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.ObserveRead(StallBreakdown{StallBus: 10})   // bucket <=16
+	r.ObserveRead(StallBreakdown{StallBus: 2000}) // overflow bucket
+	s := r.Snapshot()
+	if s.Reads != 2 {
+		t.Fatalf("Reads = %d, want 2", s.Reads)
+	}
+	if s.LatencyCounts[0] != 1 {
+		t.Errorf("first bucket = %d, want 1", s.LatencyCounts[0])
+	}
+	if s.LatencyCounts[len(s.LatencyCounts)-1] != 1 {
+		t.Errorf("overflow bucket = %d, want 1", s.LatencyCounts[len(s.LatencyCounts)-1])
+	}
+	if got := s.Stall[StallBus]; got != 2010 {
+		t.Errorf("bus cycles = %d, want 2010", got)
+	}
+}
+
+func TestAttributeReadPartitions(t *testing.T) {
+	cases := []struct {
+		name                       string
+		arrive, pre, act, rd, done int64
+		ras, ref                   int64
+	}{
+		{"row hit", 100, -1, -1, 110, 125, 0, 0},
+		{"miss no conflict", 100, -1, 130, 141, 156, 0, 4},
+		{"conflict", 100, 120, 131, 142, 157, 12, 3},
+		{"blocked counts exceed span", 100, 104, 115, 126, 141, 50, 50},
+	}
+	for _, c := range cases {
+		b := AttributeRead(c.arrive, c.pre, c.act, c.rd, c.done, c.ras, c.ref)
+		if got, want := b.Total(), c.done-c.arrive; got != want {
+			t.Errorf("%s: total %d, want %d (%v)", c.name, got, want, b)
+		}
+		for comp, v := range b {
+			if v < 0 {
+				t.Errorf("%s: negative %v component %d", c.name, StallComponent(comp), v)
+			}
+		}
+	}
+	// Marker-derived components land where expected.
+	b := AttributeRead(100, 120, 131, 142, 157, 12, 3)
+	if b[StallRP] != 11 || b[StallRCD] != 11 || b[StallBus] != 15 {
+		t.Errorf("conflict breakdown = %v", b)
+	}
+	if b[StallRFC] != 3 || b[StallRASTail] != 12 || b[StallQueue] != 5 {
+		t.Errorf("conflict queue phase = %v", b)
+	}
+}

@@ -1,0 +1,116 @@
+// Stall attribution: every retired read's latency (arrival to data
+// completion) is split into the timing-constraint components the paper's
+// mechanisms attack, so Early-Access (tRCD), Early-Precharge (tRAS) and
+// Fast-Refresh (tRFC) gains are directly visible per mode instead of
+// buried in an aggregate mean.
+
+package obs
+
+// StallComponent indexes one latency component of a retired read.
+type StallComponent int
+
+// The components, in timeline order. They partition the read's latency
+// exactly (AttributeRead clamps, so the sum always equals arrival to
+// completion):
+//
+//	arrive ──queue/tRAS-tail/tRFC── PRE ──tRP── ACT ──tRCD── RD ──bus── done
+const (
+	// StallQueue is time in the read queue not attributable to a
+	// specific timing constraint: bank contention, scheduling order,
+	// write drains, and waits caused by other requests' commands.
+	StallQueue StallComponent = iota
+	// StallRASTail is time the read's own precharge (row conflict) or
+	// the bank's reuse was gated by the open row's tRAS/tWR window —
+	// the cycles Early-Precharge reclaims.
+	StallRASTail
+	// StallRFC is time the read's next command was gated by a refresh
+	// in flight on its rank — the cycles Fast-Refresh reclaims.
+	StallRFC
+	// StallRP is precharge-to-activate time (the read triggered a PRE
+	// for a row conflict and then waited out tRP).
+	StallRP
+	// StallRCD is activate-to-read time (the read triggered the ACT
+	// that opened its row) — the cycles Early-Access reclaims.
+	StallRCD
+	// StallBus is command-to-data time on the channel: CAS latency plus
+	// the data burst.
+	StallBus
+	// NumStallComponents sizes per-component arrays.
+	NumStallComponents
+)
+
+// String names the component.
+func (c StallComponent) String() string {
+	switch c {
+	case StallQueue:
+		return "queueing"
+	case StallRASTail:
+		return "tRAS-tail"
+	case StallRFC:
+		return "tRFC-blocked"
+	case StallRP:
+		return "tRP"
+	case StallRCD:
+		return "tRCD"
+	case StallBus:
+		return "bus"
+	}
+	return "?"
+}
+
+// StallBreakdown is one read's (or an accumulated total's) latency in
+// memory cycles per component.
+type StallBreakdown [NumStallComponents]int64
+
+// Total sums the components; for a breakdown built by AttributeRead it
+// equals the read's arrival-to-completion latency exactly.
+func (b StallBreakdown) Total() int64 {
+	var t int64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// AttributeRead partitions one retired read's latency. arrive is the
+// cycle the read entered the controller; pre/act are the cycles the
+// read's own PRE/ACT issued (negative when the read did not trigger
+// that command — a row hit, or a miss without conflict); rd is the
+// cycle the column read issued; done the cycle the data burst
+// completed. rasBlocked/refBlocked are per-cycle counts the scheduler
+// accumulated while the read's next command was gated by tRAS/tWR or a
+// refresh; they are clamped into the pre-marker queue phase so the
+// components always sum to done-arrive and stay non-negative.
+func AttributeRead(arrive, pre, act, rd, done, rasBlocked, refBlocked int64) StallBreakdown {
+	var b StallBreakdown
+	b[StallBus] = done - rd
+	phaseStart := rd // earliest marker the read owns
+	if act >= 0 {
+		b[StallRCD] = rd - act
+		phaseStart = act
+	}
+	if pre >= 0 && act >= 0 {
+		b[StallRP] = act - pre
+		phaseStart = pre
+	}
+	// The remaining [arrive, phaseStart) span is queue time, with the
+	// blocked-cycle counters carved out of it (clamped: a cycle counted
+	// by both gates is attributed to the refresh, the rarer event).
+	span := phaseStart - arrive
+	if span < 0 {
+		span = 0
+	}
+	rfc := min64(refBlocked, span)
+	ras := min64(rasBlocked, span-rfc)
+	b[StallRFC] = rfc
+	b[StallRASTail] = ras
+	b[StallQueue] = span - rfc - ras
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

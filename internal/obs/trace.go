@@ -1,0 +1,158 @@
+// The cycle-domain event tracer: a bounded ring buffer of command and
+// policy events cheap enough to leave attached to a full run. Export
+// with WriteChrome (chrome.go) and open the file in about:tracing or
+// Perfetto.
+
+package obs
+
+// EventKind tags one traced event.
+type EventKind uint8
+
+// Traced event kinds. Command kinds carry a duration (the constraint
+// window the command opens); policy kinds are instants.
+const (
+	EvACT EventKind = iota
+	EvPRE
+	EvRD
+	EvWR
+	EvREF
+	EvREFSkip
+	EvMRS
+	EvModeRequest
+	EvQuarantine
+	EvGovernor
+	EvViolation
+	numEventKinds
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvACT:
+		return "ACT"
+	case EvPRE:
+		return "PRE"
+	case EvRD:
+		return "RD"
+	case EvWR:
+		return "WR"
+	case EvREF:
+		return "REF"
+	case EvREFSkip:
+		return "REF-skip"
+	case EvMRS:
+		return "MRS"
+	case EvModeRequest:
+		return "mode-request"
+	case EvQuarantine:
+		return "quarantine"
+	case EvGovernor:
+		return "governor"
+	case EvViolation:
+		return "violation"
+	}
+	return "?"
+}
+
+// Instant reports whether the kind renders as an instant (no duration).
+func (k EventKind) Instant() bool { return k >= EvMRS }
+
+// Event is one traced occurrence in the memory-cycle domain.
+type Event struct {
+	// TS is the issue cycle; Dur the cycles the event spans (0 for
+	// instants).
+	TS   int64
+	Dur  int64
+	Kind EventKind
+	// Channel/Rank/Bank locate command events; -1 marks a field that
+	// does not apply (rank-wide REF has Bank -1, device-wide instants
+	// have all three -1).
+	Channel, Rank, Bank int32
+	// Row is the affected row (-1 when not row-scoped); Arg carries a
+	// kind-specific value (MCR gang size K, mode generation, quarantined
+	// row count, ...).
+	Row int32
+	Arg int64
+}
+
+// Tracer is a bounded ring buffer of Events. Emit is O(1) and
+// allocation-free after construction; once the buffer wraps, the oldest
+// events are overwritten (Dropped reports how many). A Tracer is not
+// safe for concurrent emitters — attach one per run (runplan does).
+// A nil *Tracer disables every method.
+type Tracer struct {
+	buf []Event
+	n   int64 // total events emitted
+}
+
+// DefaultTraceCap is the ring capacity CLIs use when none is given:
+// large enough for ~100k-instruction windows, small enough to stay
+// cheap (24 B/event → ~1.5 MB).
+const DefaultTraceCap = 1 << 16
+
+// NewTracer returns a tracer holding the most recent capacity events
+// (DefaultTraceCap when capacity <= 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &Tracer{buf: make([]Event, 0, capacity)}
+}
+
+// Enabled reports whether the tracer records anything.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// Emit records one event.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil {
+		return
+	}
+	if len(t.buf) < cap(t.buf) {
+		t.buf = append(t.buf, ev)
+	} else {
+		t.buf[t.n%int64(cap(t.buf))] = ev
+	}
+	t.n++
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.buf)
+}
+
+// Total returns the number of events emitted over the tracer's life.
+func (t *Tracer) Total() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Dropped returns how many events the ring overwrote.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	if d := t.n - int64(len(t.buf)); d > 0 {
+		return d
+	}
+	return 0
+}
+
+// Events returns the buffered events oldest-first (a copy).
+func (t *Tracer) Events() []Event {
+	if t == nil || len(t.buf) == 0 {
+		return nil
+	}
+	out := make([]Event, 0, len(t.buf))
+	if t.n > int64(len(t.buf)) { // wrapped: start at the oldest slot
+		at := int(t.n % int64(len(t.buf)))
+		out = append(out, t.buf[at:]...)
+		out = append(out, t.buf[:at]...)
+		return out
+	}
+	return append(out, t.buf...)
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -69,6 +70,26 @@ func Write(w io.Writer, cfg sim.Config, res *sim.Result) error {
 	fmt.Fprintf(&b, "refreshes          : %d issued (%d Fast-Refresh), %d skipped, %d forced\n",
 		res.Dev.Refreshes, res.Dev.MCRRefreshes, res.Dev.SkippedRefreshes, res.Ctrl.ForcedRefreshes)
 	fmt.Fprintf(&b, "MCR request share  : %.1f%%\n", res.MCRRequestFraction*100)
+
+	if o := res.Obs; o != nil {
+		fmt.Fprintf(&b, "\n-- observability --\n")
+		fmt.Fprintf(&b, "commands           : ACT %d  PRE %d  RD %d  WR %d  REF %d\n",
+			o.Commands["ACT"], o.Commands["PRE"], o.Commands["RD"], o.Commands["WR"], o.Commands["REF"])
+		stallTotal := o.Stall.Total()
+		fmt.Fprintf(&b, "stall attribution  : %d reads, %d cycles total\n", o.Reads, stallTotal)
+		for c := obs.StallComponent(0); c < obs.NumStallComponents; c++ {
+			pctOf := 0.0
+			if stallTotal > 0 {
+				pctOf = float64(o.Stall[c]) / float64(stallTotal) * 100
+			}
+			fmt.Fprintf(&b, "  %-15s: %12d cycles (%5.1f%%)\n", c, o.Stall[c], pctOf)
+		}
+		fmt.Fprintf(&b, "refresh debt peak  : %d intervals\n", o.RefreshDebtPeak)
+		if o.ModeChanges+o.QuarantinedRows+o.Violations > 0 {
+			fmt.Fprintf(&b, "resilience events  : %d mode changes, %d quarantined rows, %d violations\n",
+				o.ModeChanges, o.QuarantinedRows, o.Violations)
+		}
+	}
 
 	fmt.Fprintf(&b, "\n-- energy --\n")
 	e := res.Energy

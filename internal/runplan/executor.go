@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,12 @@ type Result struct {
 	// references (identical across all specs sharing that baseline).
 	Stats     RunStats
 	BaseStats RunStats
+	// Trace is the variant run's event tracer and BaseTrace the (shared)
+	// baseline's; both are nil unless Executor.TraceCap is positive.
+	// Export with Trace.WriteChrome, or merge a whole sweep with
+	// obs.WriteChromeGroups.
+	Trace     *obs.Tracer
+	BaseTrace *obs.Tracer
 	// Err is set only under Executor.KeepGoing: this spec's failure
 	// (including a failed shared baseline). Run and Base are nil when
 	// Err is non-nil.
@@ -67,6 +74,30 @@ type Executor struct {
 	// the first error. Execute then returns the partial results together
 	// with the joined per-spec errors.
 	KeepGoing bool
+	// Metrics attaches a fresh observability registry to every simulation
+	// whose config does not already carry one: snapshots land in each
+	// run's Result.Obs and on the run's Event (Event.Obs), so sinks can
+	// stream per-cell counters as the sweep progresses.
+	Metrics bool
+	// TraceCap, when positive, attaches a fresh ring-buffer event tracer
+	// of that capacity to every simulation whose config does not already
+	// carry one; the tracers land on Result.Trace/BaseTrace.
+	TraceCap int
+}
+
+// instrument applies the executor's observability policy to one run's
+// config (a private copy — Spec configs are never mutated), returning the
+// tracer it attached (nil when tracing is off or the caller supplied one).
+func (e *Executor) instrument(cfg sim.Config) (sim.Config, *obs.Tracer) {
+	if e.Metrics && cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	var tr *obs.Tracer
+	if e.TraceCap > 0 && cfg.Trace == nil {
+		tr = obs.NewTracer(e.TraceCap)
+		cfg.Trace = tr
+	}
+	return cfg, tr
 }
 
 // attempt runs one simulation attempt: panics are recovered into a
@@ -122,6 +153,7 @@ type baseEntry struct {
 	res      *sim.Result
 	err      error
 	stats    RunStats
+	trace    *obs.Tracer
 }
 
 // Execute runs every spec of the plan and returns results in spec order.
@@ -242,9 +274,10 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 			for jb := range jobCh {
 				if jb.baseKey != "" {
 					en := entries[jb.baseKey]
+					cfg, tr := e.instrument(en.cfg)
 					start := time.Now() //mcrlint:allow determinism wall-clock throughput stats only, never results
-					res, err := e.runSpec(ctx, run, en.cfg, en.workload, en.config, true)
-					en.res, en.err = res, err
+					res, err := e.runSpec(ctx, run, cfg, en.workload, en.config, true)
+					en.res, en.err, en.trace = res, err, tr
 					if res != nil {
 						en.stats = RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts} //mcrlint:allow detflow RunStats.Wall is throughput instrumentation, never a simulated quantity
 					}
@@ -257,7 +290,7 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 						}
 						continue
 					}
-					emit(Event{Kind: KindBaseline, Workload: en.workload, Config: en.config, Stats: en.stats})
+					emit(Event{Kind: KindBaseline, Workload: en.workload, Config: en.config, Stats: en.stats, Obs: res.Obs})
 					continue
 				}
 				s := p.Specs[jb.specIdx]
@@ -282,8 +315,9 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 						continue
 					}
 				}
+				cfg, tr := e.instrument(s.Run)
 				start := time.Now() //mcrlint:allow determinism wall-clock throughput stats only, never results
-				res, err := e.runSpec(ctx, run, s.Run, s.Workload, s.Config, false)
+				res, err := e.runSpec(ctx, run, cfg, s.Workload, s.Config, false)
 				if err != nil {
 					if specFailed(err) {
 						results[jb.specIdx] = Result{Workload: s.Workload, Config: s.Config, Err: err}
@@ -294,13 +328,14 @@ func (e *Executor) Execute(ctx context.Context, p *Plan) ([]Result, error) {
 					continue
 				}
 				stats := RunStats{Wall: time.Since(start), MemCycles: res.MemCycles, Retired: res.RetiredInsts} //mcrlint:allow detflow RunStats.Wall is throughput instrumentation, never a simulated quantity
-				r := Result{Workload: s.Workload, Config: s.Config, Run: res, Stats: stats}
+				r := Result{Workload: s.Workload, Config: s.Config, Run: res, Stats: stats, Trace: tr}
 				if en != nil {
 					r.Base = en.res
 					r.BaseStats = en.stats
+					r.BaseTrace = en.trace
 				}
 				results[jb.specIdx] = r
-				emit(Event{Kind: KindVariant, Workload: s.Workload, Config: s.Config, Stats: stats})
+				emit(Event{Kind: KindVariant, Workload: s.Workload, Config: s.Config, Stats: stats, Obs: res.Obs})
 			}
 		}()
 	}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Kind tags what a finished run was.
@@ -68,6 +70,10 @@ type Event struct {
 	Total   int
 	Pending int
 	Stats   RunStats
+	// Obs is the run's observability snapshot, non-nil only when the
+	// executor attached metrics (Executor.Metrics) or the run's config
+	// carried a registry of its own.
+	Obs *obs.Snapshot
 	// Err is the failure text for KindFailed events (empty otherwise).
 	Err string
 }
@@ -97,5 +103,36 @@ func LineSink(w io.Writer) Sink {
 			e.Plan, e.Done, e.Total, e.Workload, e.Config, e.Kind,
 			float64(e.Stats.Wall.Microseconds())/1e3,
 			e.Stats.CyclesPerSec()/1e6, e.Stats.InstsPerSec()/1e6, e.Pending)
+	})
+}
+
+// ObsLineSink returns a LineSink that additionally summarizes each run's
+// observability snapshot — row-buffer hit rate and the dominant stall
+// component — when the executor recorded one (Executor.Metrics).
+func ObsLineSink(w io.Writer) Sink {
+	base := LineSink(w)
+	return SinkFunc(func(e Event) {
+		base.Event(e)
+		o := e.Obs
+		if o == nil || e.Kind == KindFailed {
+			return
+		}
+		accesses := o.RowHits + o.RowMisses + o.RowConflicts
+		hitRate := 0.0
+		if accesses > 0 {
+			hitRate = float64(o.RowHits) / float64(accesses) * 100
+		}
+		top, topVal := obs.StallQueue, int64(-1)
+		for c := obs.StallComponent(0); c < obs.NumStallComponents; c++ {
+			if o.Stall[c] > topVal {
+				top, topVal = c, o.Stall[c]
+			}
+		}
+		topPct := 0.0
+		if t := o.Stall.Total(); t > 0 {
+			topPct = float64(topVal) / float64(t) * 100
+		}
+		fmt.Fprintf(w, "    obs: %.1f%% row hits, top stall %s (%.0f%%), %d ACTs, %d REFs\n",
+			hitRate, top, topPct, o.Commands["ACT"], o.Commands["REF"])
 	})
 }

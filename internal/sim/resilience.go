@@ -16,6 +16,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 )
 
 // ResilienceConfig enables the degradation policy (requires the integrity
@@ -67,6 +68,11 @@ type resilienceState struct {
 	seen      map[[2]int]bool
 	processed int // violations consumed from the checker so far
 	stats     ResilienceStats
+
+	// obs/tr, when non-nil, receive ECC/quarantine/governor events
+	// (nil-safe no-ops otherwise; RunContext attaches them).
+	obs *obs.Registry
+	tr  *obs.Tracer
 }
 
 // modeLabel renders the device's current mode for the stats.
@@ -126,8 +132,15 @@ func (s *resilienceState) poll(now int64) {
 			s.stats.FirstErrorMs = v.AtMs
 		}
 		s.stats.ECCEvents++
+		s.obs.Violation()
+		s.tr.Emit(obs.Event{TS: now, Kind: obs.EvViolation, Channel: -1, Rank: -1, Bank: int32(v.Bank), Row: int32(v.Row)})
 		if s.cfg.Quarantine {
-			s.stats.QuarantinedRows += s.dev.Quarantine(v.Row)
+			n := s.dev.Quarantine(v.Row)
+			s.stats.QuarantinedRows += n
+			if n > 0 {
+				s.obs.Quarantine(n)
+				s.tr.Emit(obs.Event{TS: now, Kind: obs.EvQuarantine, Channel: -1, Rank: -1, Bank: int32(v.Bank), Row: int32(v.Row), Arg: int64(n)})
+			}
 		}
 	}
 	if fresh == 0 || s.gov == nil {
@@ -136,12 +149,14 @@ func (s *resilienceState) poll(now int64) {
 	if s.gov.RecordViolations(fresh) != mcr.Relax {
 		return
 	}
+	s.tr.Emit(obs.Event{TS: now, Kind: obs.EvGovernor, Channel: -1, Rank: -1, Bank: -1, Row: -1, Arg: int64(fresh)})
 	next, err := s.gov.Apply(mcr.Relax, false)
 	if err != nil {
 		return // already at the safest rung
 	}
 	s.ctrl.RequestModeChange(next)
 	s.stats.Downgrades++
+	s.tr.Emit(obs.Event{TS: now, Kind: obs.EvModeRequest, Channel: -1, Rank: -1, Bank: -1, Row: -1, Arg: int64(next.K)})
 }
 
 // finish runs a final poll (after the checker's end-of-run sweep) and

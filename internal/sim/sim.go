@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/trace"
 )
@@ -68,6 +69,16 @@ type Config struct {
 	// cover requests that arrive after every core has passed its warmup
 	// point (execution time still covers the whole run).
 	WarmupInsts int64
+
+	// Metrics, when non-nil, receives the cycle-domain observability
+	// counters (per-bank commands, row-buffer outcomes, stall attribution,
+	// latency histogram); a snapshot lands in Result.Obs. Trace, when
+	// non-nil, records command and policy events into its ring buffer.
+	// Both are excluded from JSON so run-plan memoization keys (which
+	// marshal the config) are unaffected — observability never changes
+	// simulation results.
+	Metrics *obs.Registry `json:"-"`
+	Trace   *obs.Tracer   `json:"-"`
 }
 
 // DefaultConfig returns a single-core run of the given workload with MCR
@@ -105,6 +116,9 @@ type Result struct {
 	// summaries (in Workloads order).
 	Latency *LatencyHistogram
 	Cores   []CoreStats
+
+	// Obs is the observability snapshot when Config.Metrics was set.
+	Obs *obs.Snapshot
 
 	// Integrity holds retention violations when Config.Integrity was set
 	// (empty = schedule verified safe).
@@ -188,6 +202,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		resil, err = newResilience(*cfg.Resilience, dev, ctrl, checker)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if cfg.Metrics != nil || cfg.Trace != nil {
+		geom := cfg.DRAM.Geom
+		cfg.Metrics.EnsureBanks(geom.Channels * geom.Ranks * geom.Banks)
+		dev.SetObservability(cfg.Metrics, cfg.Trace)
+		ctrl.SetObservability(cfg.Metrics, cfg.Trace)
+		if resil != nil {
+			resil.obs, resil.tr = cfg.Metrics, cfg.Trace
 		}
 	}
 
@@ -423,6 +446,7 @@ func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller
 
 	res.Dev = dev.Stats()
 	res.Ctrl = ctrl.Stats()
+	res.Obs = cfg.Metrics.Snapshot()
 	if res.Ctrl.ReadsDone > 0 {
 		res.MCRRequestFraction = float64(res.Ctrl.MCRReads) / float64(res.Ctrl.ReadsDone)
 	}

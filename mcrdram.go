@@ -84,9 +84,14 @@ func SingleCore(workload string, mode Mode) Config {
 
 // MultiCore returns the paper's 16 GB quad-core system running the given
 // four workloads (a multiprogrammed mix, or four copies of an MT workload
-// with shared set true).
+// with shared set true). An empty workloads slice yields a configuration
+// that Run rejects with an error (rather than panicking here).
 func MultiCore(workloads []string, mode Mode, shared bool) Config {
-	cfg := sim.DefaultConfig(workloads[0])
+	first := ""
+	if len(workloads) > 0 {
+		first = workloads[0]
+	}
+	cfg := sim.DefaultConfig(first)
 	cfg.Workloads = workloads
 	cfg.DRAM = dram.DefaultConfig(mode)
 	cfg.DRAM.Geom = core.MultiCoreGeometry()
@@ -106,12 +111,18 @@ func CombinedLayout(workload string, layout Layout, ratio4, ratio2 float64) Conf
 }
 
 // Simulate runs a configuration to completion.
-func Simulate(cfg Config) (*Result, error) { return sim.Run(cfg) }
+//
+// Deprecated: use Run, which also accepts functional options
+// (WithMetrics, WithTrace, WithIntegrity, WithResilience).
+func Simulate(cfg Config) (*Result, error) { return Run(context.Background(), cfg) }
 
 // SimulateContext runs a configuration to completion, aborting early when
 // ctx is cancelled (Ctrl-C, deadlines).
+//
+// Deprecated: use Run, which also accepts functional options
+// (WithMetrics, WithTrace, WithIntegrity, WithResilience).
 func SimulateContext(ctx context.Context, cfg Config) (*Result, error) {
-	return sim.RunContext(ctx, cfg)
+	return Run(ctx, cfg)
 }
 
 // RunPlan is a declarative sweep: an ordered list of RunSpec cells, each a
@@ -204,6 +215,9 @@ func IntegrityDefaults() IntegrityConfig { return integrity.DefaultConfig() }
 
 // WithIntegrityCheck attaches the retention checker to a configuration;
 // violations appear in Result.Integrity (empty slice = verified safe).
+//
+// Deprecated: use the WithIntegrity (or WithIntegrityConfig) RunOption
+// with Run instead of transforming the configuration.
 func WithIntegrityCheck(cfg Config) Config {
 	ic := integrity.DefaultConfig()
 	cfg.Integrity = &ic

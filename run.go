@@ -1,0 +1,94 @@
+// The functional-options facade: Run is the single entry point for
+// executing a simulation. Options attach cross-cutting concerns —
+// observability, integrity checking, the resilience policy — to one
+// invocation without mutating the caller's Config value, replacing the
+// older config-transforming helpers (Simulate, SimulateContext,
+// WithIntegrityCheck), which remain as thin deprecated wrappers.
+
+package mcrdram
+
+import (
+	"context"
+
+	"repro/internal/integrity"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ResilienceConfig enables the graceful-degradation policy: detected
+// retention violations become ECC events that can quarantine clone gangs
+// and step the device toward safer modes mid-run.
+type ResilienceConfig = sim.ResilienceConfig
+
+// Metrics is the cycle-domain observability registry: per-bank command
+// counts, row-buffer outcomes, the per-read stall attribution and the
+// read-latency histogram. Attach one with WithMetrics; the snapshot lands
+// in Result.Obs.
+type Metrics = obs.Registry
+
+// Tracer is the bounded ring-buffer cycle-domain event tracer (command
+// issues, MRS mode changes, quarantine/governor transitions, integrity
+// violations). Attach one with WithTrace; export with its WriteChrome
+// method (Chrome trace_event JSON, loadable in Perfetto).
+type Tracer = obs.Tracer
+
+// ObsSnapshot is a point-in-time copy of a Metrics registry's counters.
+type ObsSnapshot = obs.Snapshot
+
+// NewMetrics returns an empty enabled metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTracer returns a ring-buffer tracer keeping the most recent capacity
+// events (capacity <= 0 selects the default, obs.DefaultTraceCap).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// RunOption customizes one Run invocation. Options apply to a private
+// copy of the configuration, so the caller's Config is never mutated and
+// may be reused across runs.
+type RunOption func(*Config)
+
+// WithMetrics attaches a metrics registry to the run's hot path. The
+// registry may be shared across concurrent runs (all increments are
+// atomic); pass a fresh one per run for per-run snapshots.
+func WithMetrics(reg *Metrics) RunOption {
+	return func(c *Config) { c.Metrics = reg }
+}
+
+// WithTrace attaches a cycle-domain event tracer to the run.
+func WithTrace(tr *Tracer) RunOption {
+	return func(c *Config) { c.Trace = tr }
+}
+
+// WithIntegrity attaches the retention-safety checker with its default
+// (normal-temperature) configuration; violations appear in
+// Result.Integrity (empty slice = verified safe).
+func WithIntegrity() RunOption {
+	return func(c *Config) {
+		ic := integrity.DefaultConfig()
+		c.Integrity = &ic
+	}
+}
+
+// WithIntegrityConfig attaches the retention-safety checker with an
+// explicit configuration.
+func WithIntegrityConfig(ic IntegrityConfig) RunOption {
+	return func(c *Config) { c.Integrity = &ic }
+}
+
+// WithResilience enables the graceful-degradation policy (implies the
+// integrity checker); stats land in Result.Resilience.
+func WithResilience(rc ResilienceConfig) RunOption {
+	return func(c *Config) { c.Resilience = &rc }
+}
+
+// Run executes a configuration to completion, aborting early (with the
+// context's error) when ctx is cancelled. A nil ctx means
+// context.Background().
+func Run(ctx context.Context, cfg Config, opts ...RunOption) (*Result, error) {
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return sim.RunContext(ctx, cfg)
+}

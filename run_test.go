@@ -1,0 +1,118 @@
+package mcrdram_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	mcrdram "repro"
+)
+
+// TestRunParityWithLegacyFacade pins the facade redesign: for a fixed
+// seed, the deprecated Simulate and the new Run produce byte-identical
+// WriteReport output.
+func TestRunParityWithLegacyFacade(t *testing.T) {
+	mode, err := mcrdram.NewMode(4, 4, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mcrdram.SingleCore("stream", mode)
+	cfg.InstsPerCore = 120_000
+	cfg.Seed = 7
+
+	legacy, err := mcrdram.Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modern, err := mcrdram.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lbuf, mbuf bytes.Buffer
+	if err := mcrdram.WriteReport(&lbuf, cfg, legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := mcrdram.WriteReport(&mbuf, cfg, modern); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lbuf.Bytes(), mbuf.Bytes()) {
+		t.Errorf("Simulate and Run reports differ:\n-- legacy --\n%s\n-- modern --\n%s", lbuf.String(), mbuf.String())
+	}
+}
+
+// TestRunOptionsDoNotMutateConfig pins the functional-options contract:
+// options apply to a private copy, so the caller's Config is reusable.
+func TestRunOptionsDoNotMutateConfig(t *testing.T) {
+	cfg := mcrdram.SingleCore("stream", mcrdram.ModeOff())
+	cfg.InstsPerCore = 60_000
+
+	metrics := mcrdram.NewMetrics()
+	tracer := mcrdram.NewTracer(256)
+	res, err := mcrdram.Run(context.Background(), cfg,
+		mcrdram.WithMetrics(metrics), mcrdram.WithTrace(tracer), mcrdram.WithIntegrity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Metrics != nil || cfg.Trace != nil || cfg.Integrity != nil {
+		t.Errorf("Run mutated the caller's Config: Metrics=%v Trace=%v Integrity=%v",
+			cfg.Metrics, cfg.Trace, cfg.Integrity)
+	}
+	if res.Obs == nil {
+		t.Fatal("WithMetrics set but Result.Obs is nil")
+	}
+	if res.Obs.Reads == 0 || res.Obs.Commands["ACT"] == 0 {
+		t.Errorf("metrics recorded nothing: reads=%d ACT=%d", res.Obs.Reads, res.Obs.Commands["ACT"])
+	}
+	if tracer.Total() == 0 {
+		t.Error("tracer recorded no events")
+	}
+	if res.Integrity == nil {
+		t.Error("WithIntegrity set but Result.Integrity is nil")
+	}
+}
+
+// TestMultiCoreEmptyWorkloads is the regression test for the empty-slice
+// panic: MultiCore must build a config that Run rejects with an error.
+func TestMultiCoreEmptyWorkloads(t *testing.T) {
+	for _, workloads := range [][]string{nil, {}} {
+		cfg := mcrdram.MultiCore(workloads, mcrdram.ModeOff(), false) // must not panic
+		if _, err := mcrdram.Run(context.Background(), cfg); err == nil {
+			t.Errorf("Run accepted a config with %d workloads", len(workloads))
+		} else if !strings.Contains(err.Error(), "workload") {
+			t.Errorf("unexpected error for empty workloads: %v", err)
+		}
+	}
+}
+
+// TestObservabilityReportSection checks the report gains its
+// observability section exactly when metrics were attached.
+func TestObservabilityReportSection(t *testing.T) {
+	cfg := mcrdram.SingleCore("stream", mcrdram.ModeOff())
+	cfg.InstsPerCore = 60_000
+
+	res, err := mcrdram.Run(context.Background(), cfg, mcrdram.WithMetrics(mcrdram.NewMetrics()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := mcrdram.WriteReport(&buf, cfg, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "-- observability --") {
+		t.Error("report lacks the observability section despite attached metrics")
+	}
+
+	bare, err := mcrdram.Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := mcrdram.WriteReport(&buf, cfg, bare); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "-- observability --") {
+		t.Error("report has an observability section without attached metrics")
+	}
+}
