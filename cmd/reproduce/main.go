@@ -45,7 +45,7 @@ var validFigs = []int{3, 8, 10, 11, 12, 13, 14, 15, 16, 17, 18}
 var validMetrics = []string{"exec", "readlat", "edp"}
 
 // validExtras are the beyond-the-paper studies.
-var validExtras = []string{"combined", "tldram", "wiring", "scheduler", "rowpolicy", "repeat", "resilience"}
+var validExtras = []string{"combined", "tldram", "shootout", "wiring", "scheduler", "rowpolicy", "repeat", "resilience"}
 
 // validateMetric rejects unknown -metric values with the valid choices.
 func validateMetric(m string) error {
@@ -85,7 +85,7 @@ func main() {
 	var (
 		fig     = flag.Int("fig", 0, "figure/table number: 3 (Table 3), 8, 10, 11, 12, 13, 14, 15, 16, 17, 18")
 		all     = flag.Bool("all", false, "regenerate everything")
-		extra   = flag.String("extra", "", `beyond-the-paper study: "combined", "tldram", "wiring", "scheduler", "rowpolicy", "repeat" or "resilience"`)
+		extra   = flag.String("extra", "", `beyond-the-paper study: "combined", "tldram", "shootout", "wiring", "scheduler", "rowpolicy", "repeat" or "resilience"`)
 		insts   = flag.Int64("insts", 0, "instructions per core (0 = default)")
 		seed    = flag.Int64("seed", 1, "simulation seed")
 		seeds   = flag.Int("seeds", 5, "seeds for -extra repeat")
@@ -293,6 +293,13 @@ func runExtra(name string, opt experiments.Options, metric string, seeds int) er
 			return err
 		}
 		return writeBoth(s, metric)
+	case "shootout":
+		r, err := experiments.Shootout(opt, names)
+		if err != nil {
+			return err
+		}
+		collectTraces(r.Sweep)
+		return experiments.WriteShootout(os.Stdout, r)
 	case "wiring", "scheduler", "rowpolicy":
 		kind := map[string]experiments.AblationKind{
 			"wiring":    experiments.AblationWiring,

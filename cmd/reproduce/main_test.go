@@ -43,7 +43,7 @@ func TestValidateFig(t *testing.T) {
 }
 
 func TestValidateExtra(t *testing.T) {
-	for _, ok := range []string{"combined", "tldram", "wiring", "scheduler", "rowpolicy", "repeat"} {
+	for _, ok := range []string{"combined", "tldram", "shootout", "wiring", "scheduler", "rowpolicy", "repeat"} {
 		if err := validateExtra(ok); err != nil {
 			t.Errorf("extra %q rejected: %v", ok, err)
 		}

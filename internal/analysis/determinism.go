@@ -1,9 +1,11 @@
 // Check determinism: simulation results must be a pure function of the
 // configuration and seed. The run-plan engine memoizes baselines and
 // promises byte-identical sweep output, so internal/sim,
-// internal/experiments, internal/runplan and internal/fault (the seeded
+// internal/experiments, internal/runplan, internal/fault (the seeded
 // fault-injection models, which must derive every weak cell and VRT
-// schedule purely from the seed) must not consult wall-clock time, draw
+// schedule purely from the seed) and internal/mech (the per-row timing
+// backends, whose copy/convert decisions feed Result counters directly)
+// must not consult wall-clock time, draw
 // from the global (unseeded) math/rand source, or let random map
 // iteration order leak into anything ordered — appends, printed output,
 // or floating-point accumulation. Wall-time throughput
@@ -35,7 +37,7 @@ var globalRandFuncs = map[string]bool{
 }
 
 func runDeterminism(pass *Pass) {
-	if !pass.InPackage("sim") && !pass.InPackage("experiments") && !pass.InPackage("runplan") && !pass.InPackage("fault") {
+	if !pass.InPackage("sim") && !pass.InPackage("experiments") && !pass.InPackage("runplan") && !pass.InPackage("fault") && !pass.InPackage("mech") {
 		return
 	}
 	for _, f := range pass.Files {

@@ -37,6 +37,7 @@ var detflowSinkTypes = []struct{ pathSuffix, name string }{
 	{"internal/runplan", "Result"},
 	{"internal/runplan", "RunStats"},
 	{"internal/obs", "Snapshot"},
+	{"internal/mech", "Stats"},
 }
 
 func runDetFlow(pass *Pass) {

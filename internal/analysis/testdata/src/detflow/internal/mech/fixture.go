@@ -1,0 +1,29 @@
+package mech
+
+import "time"
+
+// Stats mirrors the real mech.Stats shape the sink rules key on: backend
+// counters land in sim.Result.MechStats verbatim, so they must be pure
+// functions of config and seed.
+type Stats struct {
+	Copies     int64
+	CopyCycles int64
+}
+
+// hostNanos reads the wall clock: the taint source one frame below the
+// counter update, visible only through its summary.
+func hostNanos() int64 {
+	return time.Now().UnixNano()
+}
+
+// recordCopy stores a wall-clock-derived value into a backend counter:
+// flagged through the call hop.
+func recordCopy(s *Stats) {
+	s.CopyCycles = hostNanos() // want `mech\.Stats\.CopyCycles receives a value derived from time\.Now \(wall clock\) \(via mech\.hostNanos\)`
+}
+
+// recordCopyCycles accounts in the cycle domain: quiet.
+func recordCopyCycles(s *Stats, cycles int64) {
+	s.Copies++
+	s.CopyCycles += cycles
+}

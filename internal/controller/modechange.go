@@ -8,17 +8,28 @@
 package controller
 
 import (
+	"fmt"
+
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mech"
 	"repro/internal/obs"
 )
 
 // RequestModeChange asks the controller to switch the device to the given
 // mode as soon as it can legally drain to all-banks-precharged. A request
 // made while another is pending replaces it (the newest target wins —
-// the degradation ladder only ever moves toward safer modes).
-func (c *Controller) RequestModeChange(m mcr.Mode) {
+// the degradation ladder only ever moves toward safer modes). Backends
+// without an MRS-programmable mode register (TL-DRAM, NUAT, CROW,
+// CLR-DRAM) reject the request with an error wrapping mech.ErrNoModes
+// before any drain starts: the schedule never stalls for a switch the
+// device cannot take.
+func (c *Controller) RequestModeChange(m mcr.Mode) error {
+	if !c.dev.SupportsModeChange() {
+		return fmt.Errorf("controller: %s device: %w", c.dev.MechanismName(), mech.ErrNoModes)
+	}
 	c.pendingMode = &m
+	return nil
 }
 
 // ModeChangePending reports whether a requested mode switch has not yet

@@ -1,11 +1,14 @@
 package controller
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/dram"
 	"repro/internal/mcr"
 	"repro/internal/mcr/mcrtest"
+	"repro/internal/mech"
 )
 
 func addr(ch, rank, bank int) core.Address {
@@ -86,6 +89,66 @@ func TestModeChangeImmediateWhenIdle(t *testing.T) {
 	}
 	if st := c.Stats(); st.ModeChanges != 1 {
 		t.Fatalf("ModeChanges = %d, want 1", st.ModeChanges)
+	}
+}
+
+// TestModeChangeRejectedByModelessBackends: backends without an MRS mode
+// register reject the request with a typed error before any drain starts;
+// the controller never sets pendingMode, and scheduling proceeds
+// normally — a queued read still completes.
+func TestModeChangeRejectedByModelessBackends(t *testing.T) {
+	backends := map[string]func(*dram.Config){
+		"tldram": func(c *dram.Config) { tl := dram.DefaultTLConfig(); c.TL = &tl },
+		"nuat":   func(c *dram.Config) { n := dram.DefaultNUATConfig(); c.NUAT = &n },
+		"crow":   func(c *dram.Config) { cr := dram.DefaultCROWConfig(); c.CROW = &cr },
+		"clr":    func(c *dram.Config) { cl := dram.DefaultCLRConfig(); c.CLR = &cl },
+	}
+	for name, set := range backends {
+		t.Run(name, func(t *testing.T) {
+			dcfg := dram.DefaultConfig(mcr.Off())
+			set(&dcfg)
+			dev, err := dram.New(dcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := New(DefaultConfig(), dev, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = c.RequestModeChange(mcr.Off())
+			if !errors.Is(err, mech.ErrNoModes) {
+				t.Fatalf("RequestModeChange error = %v, want wrapping mech.ErrNoModes", err)
+			}
+			if c.ModeChangePending() {
+				t.Fatal("rejected request must not leave a pending drain")
+			}
+			if _, ok := c.EnqueueRead(0, 0, 0); !ok {
+				t.Fatal("enqueue must succeed")
+			}
+			done := false
+			for now := int64(0); now < 2000 && !done; now++ {
+				c.Tick(now)
+				done = len(c.DrainCompletions()) > 0
+			}
+			if !done {
+				t.Fatal("scheduling stalled after a rejected mode change")
+			}
+			if st := c.Stats(); st.ModeChanges != 0 {
+				t.Fatalf("ModeChanges = %d, want 0", st.ModeChanges)
+			}
+		})
+	}
+}
+
+// TestModeChangeAcceptedByMCR: the MCR backend keeps taking requests (the
+// gate must not over-reject).
+func TestModeChangeAcceptedByMCR(t *testing.T) {
+	c := newCtrl(t, mcrtest.Mode(2, 2, 1), nil)
+	if err := c.RequestModeChange(mcr.Off()); err != nil {
+		t.Fatalf("MCR device rejected a mode change: %v", err)
+	}
+	if !c.ModeChangePending() {
+		t.Fatal("accepted request must be pending")
 	}
 }
 

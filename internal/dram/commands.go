@@ -63,12 +63,16 @@ func (d *Device) Activate(a core.Address, now int64) {
 	}
 	b, rk := d.bankAt(a), d.rankAt(a)
 	p, inMCR := d.RowParams(a.Row)
+	// The backend's per-activation policy may charge extra cycles to this
+	// ACT (a CROW copy, a CLR conversion): the opened row absorbs them in
+	// every restore-side gate.
+	extra, ev, emitEv := d.mech.OnActivate(a.Row, now)
 	b.openRow = a.Row
 	b.openMCR = inMCR
-	b.nextRead = max64(b.nextRead, now+int64(p.TRCD))
-	b.nextWrite = max64(b.nextWrite, now+int64(p.TRCD))
-	b.nextPre = max64(b.nextPre, now+int64(p.TRAS))
-	b.nextAct = max64(b.nextAct, now+int64(p.TRC))
+	b.nextRead = max64(b.nextRead, now+int64(p.TRCD)+extra)
+	b.nextWrite = max64(b.nextWrite, now+int64(p.TRCD)+extra)
+	b.nextPre = max64(b.nextPre, now+int64(p.TRAS)+extra)
+	b.nextAct = max64(b.nextAct, now+int64(p.TRC)+extra)
 	rk.nextAct = max64(rk.nextAct, now+int64(d.tim.Normal.TRRD))
 	rk.recordAct(now)
 	d.stats.Activates++
@@ -79,9 +83,12 @@ func (d *Device) Activate(a core.Address, now int64) {
 	d.obs.IncCommand(obs.CmdACT, a.BankID(d.cfg.Geom))
 	var gangK int64
 	if inMCR {
-		gangK = int64(d.lgen.KAt(a.Row))
+		gangK = int64(d.mech.GangK(a.Row))
 	}
 	d.emit(obs.EvACT, now, int64(p.TRCD), a, a.Row, gangK)
+	if emitEv {
+		d.emit(ev, now, extra, a, a.Row, 0)
+	}
 	if d.hook != nil {
 		d.hook.Activated(a, now)
 	}
@@ -244,13 +251,8 @@ func (d *Device) CanRefresh(ch, rankID int, now int64) bool {
 // rank becomes usable again. A skipped REF costs nothing and touches no
 // state beyond the statistics.
 func (d *Device) Refresh(ch, rankID int, counter int, now int64) (mcr.LayoutRefreshOp, int64) {
-	op := d.sched.Plan(counter)
-	if d.nuat != nil {
-		// Track refresh progress for the charge-aware timing classes (the
-		// ranks advance in lockstep; the last counter seen is a faithful
-		// approximation of the window position).
-		d.nuat.counter = counter
-	}
+	op := d.mech.RefreshPlan(counter)
+	d.mech.NoteRefresh(counter)
 	if op.Skipped && d.cfg.Mech.RefreshSkipping {
 		d.stats.SkippedRefreshes++
 		d.emit(obs.EvREFSkip, now, 0, core.Address{Channel: ch, Rank: rankID, Bank: -1}, -1, int64(counter))
@@ -286,7 +288,7 @@ func (d *Device) Refresh(ch, rankID int, counter int, now int64) (mcr.LayoutRefr
 	}
 	d.emit(obs.EvREF, now, tRFC, core.Address{Channel: ch, Rank: rankID, Bank: -1}, -1, int64(op.K))
 	if d.hook != nil {
-		d.hook.Refreshed(ch, rankID, op.Rows, d.refreshMEff(op.K, op.M), done)
+		d.hook.Refreshed(ch, rankID, op.Rows, d.mech.RefreshMEff(op.K, op.M), done)
 	}
 	return op, done
 }
@@ -294,41 +296,25 @@ func (d *Device) Refresh(ch, rankID int, counter int, now int64) (mcr.LayoutRefr
 // SetMode reprograms the MCR-mode through the mode register (an MRS
 // command) and rebuilds the timing classes. All banks must be precharged.
 // Combined layouts are fixed at construction; SetMode clears any layout in
-// favor of the simple mode.
+// favor of the simple mode. Backends without a mode register return an
+// error wrapping mech.ErrNoModes.
 func (d *Device) SetMode(mode mcr.Mode, now int64) error {
 	for i := range d.banks {
 		if d.banks[i].openRow >= 0 {
 			return fmt.Errorf("dram: MRS requires all banks precharged")
 		}
 	}
-	if err := d.modeReg.Set(mode); err != nil {
+	if err := d.mech.SetMode(mode, now); err != nil {
 		return err
 	}
-	cfg := d.cfg
-	cfg.Mode = mode
-	cfg.Layout = mcr.Layout{}
-	tim, err := ResolveTimings(cfg)
-	if err != nil {
-		return err
-	}
-	gen, err := mcr.NewGenerator(mode, cfg.Geom.RowsPerSubarray())
-	if err != nil {
-		return err
-	}
-	lgen, err := mcr.NewLayoutGenerator(mcr.LayoutOf(mode), cfg.Geom.RowsPerSubarray())
-	if err != nil {
-		return err
-	}
-	sched, err := mcr.NewLayoutScheduler(lgen, cfg.Wiring, cfg.Geom.Rows)
-	if err != nil {
-		return err
-	}
-	d.cfg, d.tim, d.gen, d.lgen, d.sched = cfg, tim, gen, lgen, sched
+	d.cfg = d.mech.Config()
+	d.tim = d.mech.Timings()
 	return nil
 }
 
-// ModeGeneration exposes the mode-register generation counter.
-func (d *Device) ModeGeneration() int { return d.modeReg.Generation() }
+// ModeGeneration exposes the mode-register generation counter (0 for
+// backends without a mode register).
+func (d *Device) ModeGeneration() int { return d.mech.ModeGeneration() }
 
 func max64(vs ...int64) int64 {
 	m := vs[0]

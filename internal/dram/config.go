@@ -1,63 +1,48 @@
-// Package dram is a cycle-accurate DDR3 device model with MCR support: per
-// bank state machines enforcing every JEDEC timing constraint (tRCD, tRAS,
-// tRP, tRC, tCCD, tRRD, tFAW, tWTR, tRTP, tWR, rank-to-rank switch, tREFI,
-// tRFC), an auto-refresh counter with the paper's wiring methods, and
-// per-row timing classes so rows inside the MCR region run with the relaxed
-// Table 3 constraints (Early-Access, Early-Precharge) while normal rows keep
-// the DDR3 baseline. Combined 2x+4x layouts (paper Sec. 4.4) give each band
-// its own timing class.
+// Package dram is a cycle-accurate DDR3 device model with pluggable
+// latency mechanisms: per bank state machines enforcing every JEDEC
+// timing constraint (tRCD, tRAS, tRP, tRC, tCCD, tRRD, tFAW, tWTR, tRTP,
+// tWR, rank-to-rank switch, tREFI, tRFC), an auto-refresh counter with
+// the paper's wiring methods, and per-row timing classes delegated to a
+// mech.Mechanism backend — the paper's MCR-DRAM (relaxed Table 3
+// constraints for clone-row bands, combined 2x+4x layouts), or one of
+// the related-work comparators (TL-DRAM, NUAT, CROW, CLR-DRAM).
 //
 // The device is passive: the memory controller asks CanIssue and then
 // Issue; the model validates legality and updates its bookkeeping.
 package dram
 
 import (
-	"fmt"
-
-	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/mcr"
-	"repro/internal/timing"
+	"repro/internal/mech"
 )
 
 // Mechanisms toggles the paper's three latency mechanisms plus
 // Refresh-Skipping, for the Fig 17 ablation.
-type Mechanisms struct {
-	EarlyAccess     bool // reduced tRCD for MCR rows
-	EarlyPrecharge  bool // reduced tRAS for MCR rows
-	FastRefresh     bool // reduced tRFC for MCR refreshes
-	RefreshSkipping bool // honor the M/Kx skip schedule
-}
+type Mechanisms = mech.Toggles
 
 // AllMechanisms enables everything (the paper's default MCR-DRAM).
-func AllMechanisms() Mechanisms {
-	return Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true, RefreshSkipping: true}
-}
+func AllMechanisms() Mechanisms { return mech.AllToggles() }
 
-// Config describes one MCR-DRAM device instance.
-type Config struct {
-	Geom core.Geometry
-	// FourGb selects the 4 Gb per-chip density (tRFC 260 ns class) instead
-	// of 1 Gb (110 ns class); the paper's 4 GB and 16 GB systems both use
-	// 4 Gb devices, the 1 Gb column of Table 3 exists for completeness.
-	FourGb bool
-	// Mode is the simple single-band MCR-mode [M/Kx/L%reg].
-	Mode mcr.Mode
-	// Layout, when enabled, overrides Mode with a combined 2x+4x layout
-	// (paper Sec. 4.4).
-	Layout mcr.Layout
-	// TL, when non-nil, turns the device into the TL-DRAM-like comparison
-	// baseline (near/far bitline segments, full capacity, bank-array area
-	// overhead) instead of an MCR device. Mutually exclusive with
-	// Mode/Layout.
-	TL *TLConfig
-	// NUAT, when non-nil, turns the device into the NUAT-like comparison
-	// baseline (charge-aware tRCD on a conventional DRAM). Mutually
-	// exclusive with Mode/Layout and TL.
-	NUAT   *NUATConfig
-	Wiring mcr.Wiring
-	Mech   Mechanisms
-}
+// Config describes one device instance and selects its mechanism backend
+// (see mech.Config, which owns the type and its validation).
+type Config = mech.Config
+
+// Timings bundles the resolved per-class timing parameter sets of a
+// device (owned by package mech).
+type Timings = mech.Timings
+
+// TLConfig parameterizes the TL-DRAM-like backend.
+type TLConfig = mech.TLConfig
+
+// NUATConfig parameterizes the NUAT-like charge-aware backend.
+type NUATConfig = mech.NUATConfig
+
+// CROWConfig parameterizes the CROW-like copy-row backend.
+type CROWConfig = mech.CROWConfig
+
+// CLRConfig parameterizes the CLR-DRAM-like coupling backend.
+type CLRConfig = mech.CLRConfig
 
 // DefaultConfig returns the paper's single-core baseline system with the
 // given MCR-mode and all mechanisms on.
@@ -71,153 +56,18 @@ func DefaultConfig(mode mcr.Mode) Config {
 	}
 }
 
-// EffectiveLayout returns the layout actually in force: Layout when
-// enabled, otherwise the single band implied by Mode.
-func (c Config) EffectiveLayout() mcr.Layout {
-	if c.Layout.Enabled() {
-		return c.Layout
-	}
-	return mcr.LayoutOf(c.Mode)
-}
+// DefaultTLConfig returns a representative 50%-near TL-DRAM-like split.
+func DefaultTLConfig() TLConfig { return mech.DefaultTLConfig() }
 
-// Validate checks the configuration for consistency.
-func (c Config) Validate() error {
-	if err := c.Geom.Validate(); err != nil {
-		return err
-	}
-	if c.TL != nil {
-		if err := c.TL.Validate(); err != nil {
-			return err
-		}
-		if c.Layout.Enabled() || c.Mode.Enabled() {
-			return fmt.Errorf("dram: the TL-DRAM-like scheme excludes MCR modes and layouts")
-		}
-	}
-	if c.NUAT != nil {
-		if err := c.NUAT.Validate(); err != nil {
-			return err
-		}
-		if c.Layout.Enabled() || c.Mode.Enabled() || c.TL != nil {
-			return fmt.Errorf("dram: the NUAT-like scheme excludes MCR modes, layouts and TL")
-		}
-	}
-	if c.Layout.Enabled() {
-		if _, err := mcr.NewLayout(c.Layout.Bands...); err != nil {
-			return err
-		}
-	} else if err := c.Mode.Validate(); err != nil {
-		return err
-	}
-	if c.Geom.Rows < mcr.RefsPerWindow {
-		return fmt.Errorf("dram: %d rows per bank is below the %d REF commands per window", c.Geom.Rows, mcr.RefsPerWindow)
-	}
-	return nil
-}
+// DefaultNUATConfig returns the 8-bin, 20%-droop charge-aware setup.
+func DefaultNUATConfig() NUATConfig { return mech.DefaultNUATConfig() }
 
-// Timings bundles the resolved per-class timing parameter sets of a device.
-type Timings struct {
-	Normal timing.Params // normal rows (and the whole device when MCR is off)
-	MCR    timing.Params // rows of the most aggressive (largest K) band
-	// RefreshMCRCycles is tRFC (cycles) for a REF command landing in the
-	// largest-K band; Normal.TRFC covers normal-row REFs.
-	RefreshMCRCycles int
-	// PerK maps each band's K (and 1 for normal rows) to its parameter
-	// set; RefreshPerK maps it to the tRFC in cycles.
-	PerK        map[int]timing.Params
-	RefreshPerK map[int]int
-}
+// DefaultCROWConfig returns the representative copy-row setup.
+func DefaultCROWConfig() CROWConfig { return mech.DefaultCROWConfig() }
 
-// bandTimings resolves one band's column timings and refresh cost under
-// the mechanism toggles and wiring.
-func bandTimings(c Config, k, m int) (timing.Params, int, error) {
-	base := timing.Baseline1x(c.FourGb)
-	// Effective refreshes per window actually delivered to the band's cells.
-	mEff := k
-	if c.Mech.RefreshSkipping {
-		mEff = m
-	}
-	full, err := timing.Lookup(k, 1) // full-restore column for this K
-	if err != nil {
-		return timing.Params{}, 0, err
-	}
-	eff, err := timing.Lookup(k, mEff)
-	if err != nil {
-		return timing.Params{}, 0, err
-	}
+// DefaultCLRConfig returns the representative coupling setup.
+func DefaultCLRConfig() CLRConfig { return mech.DefaultCLRConfig() }
 
-	ns := base
-	if c.Mech.EarlyAccess {
-		ns.TRCD = eff.TRCDNS
-	}
-	if c.Mech.EarlyPrecharge {
-		if c.Wiring == mcr.KtoN1K {
-			ns.TRAS = eff.TRASNS
-		} else {
-			// Ablation path: non-uniform refresh spacing. Derive tRAS from
-			// the circuit model at the actual worst-case interval.
-			interval := mcr.MaxRefreshIntervalMs(c.Wiring, 13, k, timing.RetentionWindowMs) // 13-bit REF counter
-			tras, err := circuit.Default().RestoreTime(k, interval)
-			if err != nil {
-				return timing.Params{}, 0, err
-			}
-			ns.TRAS = tras
-		}
-	} else {
-		ns.TRAS = full.TRASNS // must fully restore K cells
-	}
-
-	refNS := full.TRFC4Gb
-	if !c.FourGb {
-		refNS = full.TRFC1Gb
-	}
-	if c.Mech.FastRefresh && c.Mech.EarlyPrecharge && c.Wiring == mcr.KtoN1K {
-		if c.FourGb {
-			refNS = eff.TRFC4Gb
-		} else {
-			refNS = eff.TRFC1Gb
-		}
-	}
-	return timing.NewParams(ns), core.NSToMemCycles(refNS), nil
-}
-
-// ResolveTimings derives the per-class timings from the configuration,
-// honoring the mechanism toggles:
-//
-//   - Early-Access off  -> MCR rows keep the baseline tRCD.
-//   - Early-Precharge off -> MCR rows must fully restore; with K cells per
-//     sense amplifier that is *slower* than the baseline (the 1/Kx column
-//     of Table 3), which is why Early-Access alone buys little (Fig 17).
-//   - Refresh-Skipping off -> cells see the full K refreshes per window, so
-//     Early-Precharge uses the M=K interval regardless of the band's M.
-//   - Fast-Refresh off -> MCR refreshes restore fully (1/Kx tRFC class).
-//   - K-to-K wiring (ablation) -> the worst-case refresh interval barely
-//     shrinks, so the Early-Precharge budget is recomputed from the circuit
-//     model instead of Table 3.
-func ResolveTimings(c Config) (Timings, error) {
-	if err := c.Validate(); err != nil {
-		return Timings{}, err
-	}
-	base := timing.NewParams(timing.Baseline1x(c.FourGb))
-	t := Timings{
-		Normal:           base,
-		MCR:              base,
-		RefreshMCRCycles: base.TRFC,
-		PerK:             map[int]timing.Params{1: base},
-		RefreshPerK:      map[int]int{1: base.TRFC},
-	}
-	layout := c.EffectiveLayout()
-	maxK := layout.MaxK()
-	for _, b := range layout.Bands {
-		p, ref, err := bandTimings(c, b.K, b.M)
-		if err != nil {
-			return Timings{}, err
-		}
-		t.PerK[b.K] = p
-		t.RefreshPerK[b.K] = ref
-		if b.K == maxK {
-			t.MCR = p
-			t.RefreshMCRCycles = ref
-		}
-	}
-	return t, nil
-}
+// ResolveTimings derives the per-class timings from the configuration
+// (see mech.ResolveTimings).
+func ResolveTimings(c Config) (Timings, error) { return mech.ResolveTimings(c) }

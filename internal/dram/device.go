@@ -1,11 +1,14 @@
-// The device model proper: banks, ranks and the shared data bus, with the
-// MCR layout generator and refresh scheduler wired in.
+// The device model proper: banks, ranks and the shared data bus. Every
+// per-row policy decision — timing classes, gang mapping, refresh
+// planning, mode transitions, quarantine — is delegated to the single
+// mech.Mechanism backend the configuration selected.
 
 package dram
 
 import (
 	"repro/internal/core"
 	"repro/internal/mcr"
+	"repro/internal/mech"
 	"repro/internal/obs"
 	"repro/internal/timing"
 )
@@ -42,14 +45,14 @@ type Stats struct {
 	MCRRefreshes     int64
 }
 
-// Device is one MCR-DRAM memory system (all channels).
+// Device is one DRAM memory system (all channels) running exactly one
+// latency-mechanism backend.
 type Device struct {
-	cfg     Config
-	tim     Timings
-	lgen    *mcr.LayoutGenerator
-	gen     *mcr.Generator // non-nil only for single-band (simple Mode) devices
-	sched   *mcr.LayoutScheduler
-	modeReg *mcr.ModeRegister
+	cfg Config
+	tim Timings
+	// mech owns every scheme-specific policy; the device keeps only the
+	// JEDEC state machines below.
+	mech mech.Mechanism
 
 	banks []bank // [channel][rank][bank] flattened
 	ranks []rank // [channel][rank] flattened
@@ -59,8 +62,6 @@ type Device struct {
 	busOwner     []int   // rank that last used the bus, for tRTRS
 	nextCol      []int64 // tCCD gate per channel
 
-	tl    *tlState   // non-nil for the TL-DRAM-like comparison baseline
-	nuat  *nuatState // non-nil for the NUAT-like comparison baseline
 	stats Stats
 	hook  Hook
 
@@ -69,63 +70,29 @@ type Device struct {
 	obs *obs.Registry
 	tr  *obs.Tracer
 
-	// quarantined rows are demoted to conventional 1x timing and full
-	// restore (graceful degradation after a detected fault); nil until the
-	// first Quarantine call. Survives SetMode.
-	quarantined map[int]bool
-
 	// perBankActs counts activates per flattened bank id, for balance
 	// diagnostics.
 	perBankActs []int64
 }
 
-// New builds a device from the configuration.
+// New builds a device from the configuration, selecting the mechanism
+// backend it asks for (MCR by default; exactly one of TL/NUAT/CROW/CLR
+// otherwise — conflicting selections are rejected here).
 func New(cfg Config) (*Device, error) {
-	tim, err := ResolveTimings(cfg)
-	if err != nil {
-		return nil, err
-	}
-	lgen, err := mcr.NewLayoutGenerator(cfg.EffectiveLayout(), cfg.Geom.RowsPerSubarray())
-	if err != nil {
-		return nil, err
-	}
-	sched, err := mcr.NewLayoutScheduler(lgen, cfg.Wiring, cfg.Geom.Rows)
+	m, err := mech.New(cfg)
 	if err != nil {
 		return nil, err
 	}
 	d := &Device{
 		cfg:          cfg,
-		tim:          tim,
-		lgen:         lgen,
-		sched:        sched,
-		modeReg:      mcr.NewModeRegister(),
+		tim:          m.Timings(),
+		mech:         m,
 		banks:        make([]bank, cfg.Geom.Channels*cfg.Geom.Ranks*cfg.Geom.Banks),
 		ranks:        make([]rank, cfg.Geom.Channels*cfg.Geom.Ranks),
 		busBusyUntil: make([]int64, cfg.Geom.Channels),
 		busOwner:     make([]int, cfg.Geom.Channels),
 		nextCol:      make([]int64, cfg.Geom.Channels),
 		perBankActs:  make([]int64, cfg.Geom.Channels*cfg.Geom.Ranks*cfg.Geom.Banks),
-	}
-	if !cfg.Layout.Enabled() {
-		d.gen, err = mcr.NewGenerator(cfg.Mode, cfg.Geom.RowsPerSubarray())
-		if err != nil {
-			return nil, err
-		}
-		if err := d.modeReg.Set(cfg.Mode); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.TL != nil {
-		d.tl, err = newTLState(cfg.FourGb, *cfg.TL, cfg.Geom.RowsPerSubarray())
-		if err != nil {
-			return nil, err
-		}
-	}
-	if cfg.NUAT != nil {
-		d.nuat, err = newNUATState(cfg.FourGb, *cfg.NUAT, cfg.Wiring, cfg.Geom.Rows)
-		if err != nil {
-			return nil, err
-		}
 	}
 	for i := range d.banks {
 		d.banks[i].openRow = -1
@@ -147,15 +114,48 @@ func (d *Device) Config() Config { return d.cfg }
 // Timings returns the resolved per-class timing parameters.
 func (d *Device) Timings() Timings { return d.tim }
 
+// Mechanism exposes the active latency-mechanism backend.
+func (d *Device) Mechanism() mech.Mechanism { return d.mech }
+
+// MechanismName identifies the active backend ("mcr", "tldram", ...).
+func (d *Device) MechanismName() string { return d.mech.Name() }
+
+// MechStats returns the backend's policy counters (copies, conversions,
+// fast activates, capacity traded).
+func (d *Device) MechStats() mech.Stats { return d.mech.Stats() }
+
+// mcrMech returns the MCR backend, or nil when another scheme is active.
+func (d *Device) mcrMech() *mech.MCR {
+	m, _ := d.mech.(*mech.MCR)
+	return m
+}
+
 // Generator exposes the simple-mode MCR generator; nil for combined
-// layouts (use LayoutGenerator there).
-func (d *Device) Generator() *mcr.Generator { return d.gen }
+// layouts and for non-MCR backends.
+func (d *Device) Generator() *mcr.Generator {
+	if m := d.mcrMech(); m != nil {
+		return m.Generator()
+	}
+	return nil
+}
 
-// LayoutGenerator exposes the universal row classifier.
-func (d *Device) LayoutGenerator() *mcr.LayoutGenerator { return d.lgen }
+// LayoutGenerator exposes the MCR row classifier; nil for non-MCR
+// backends (use GangK/CloneRows/InMCR, which every backend answers).
+func (d *Device) LayoutGenerator() *mcr.LayoutGenerator {
+	if m := d.mcrMech(); m != nil {
+		return m.LayoutGenerator()
+	}
+	return nil
+}
 
-// RefreshScheduler exposes the refresh planner.
-func (d *Device) RefreshScheduler() *mcr.LayoutScheduler { return d.sched }
+// RefreshScheduler exposes the MCR refresh planner; nil for non-MCR
+// backends.
+func (d *Device) RefreshScheduler() *mcr.LayoutScheduler {
+	if m := d.mcrMech(); m != nil {
+		return m.RefreshScheduler()
+	}
+	return nil
+}
 
 // Stats returns a copy of the event counters.
 func (d *Device) Stats() Stats { return d.stats }
@@ -183,37 +183,28 @@ func (d *Device) rankAt(a core.Address) *rank {
 }
 
 // RowParams returns the timing parameter set governing a row and whether
-// the row lies in an MCR band (always false for the TL-DRAM-like scheme,
-// whose near/far classes are not clone rows).
+// the row lies in an MCR band (always false for the comparator schemes,
+// whose fast classes are not clone-row bands).
 func (d *Device) RowParams(row int) (*timing.Params, bool) {
-	if d.tl != nil {
-		return d.tl.params(row), false
-	}
-	if d.nuat != nil {
-		return d.nuat.params(row), false
-	}
-	if d.quarantined[row] {
-		return &d.tim.Normal, false
-	}
-	k := d.lgen.KAt(row)
-	if k > 1 {
-		if p, ok := d.tim.PerK[k]; ok {
-			return &p, true
-		}
-	}
-	return &d.tim.Normal, false
+	return d.mech.RowParams(row)
 }
 
 // IsNearSegment reports whether a row sits in the TL-DRAM-like near
-// segment (false for MCR devices).
-func (d *Device) IsNearSegment(row int) bool { return d.tl != nil && d.tl.isNear(row) }
+// segment (false for every other backend).
+func (d *Device) IsNearSegment(row int) bool {
+	if t, ok := d.mech.(*mech.TL); ok {
+		return t.IsNear(row)
+	}
+	return false
+}
 
 // OpenRow returns the open row of the bank holding addr, or -1.
 func (d *Device) OpenRow(a core.Address) int { return d.bankAt(a).openRow }
 
-// IsRowHit reports whether a request would hit the open row — treating all
-// clone rows of an MCR as the same logical row, since activating any of
-// them latched the same data.
+// IsRowHit reports whether a request would hit the open row — treating
+// rows that latch shared data (an MCR's clone rows, a CLR coupled pair)
+// as the same logical row, since activating any of them latched the
+// same data.
 func (d *Device) IsRowHit(a core.Address) bool {
 	b := d.bankAt(a)
 	if b.openRow < 0 {
@@ -222,11 +213,24 @@ func (d *Device) IsRowHit(a core.Address) bool {
 	if b.openRow == a.Row {
 		return true
 	}
-	return d.lgen.SameMCR(b.openRow, a.Row)
+	return d.mech.SameGang(b.openRow, a.Row)
 }
 
 // InMCR reports whether the row lies in an MCR band.
-func (d *Device) InMCR(row int) bool { return d.lgen.InMCR(row) }
+func (d *Device) InMCR(row int) bool { return d.mech.InMCR(row) }
+
+// GangK returns the number of wordlines that fire for the row (1 when
+// un-ganged) — safe on every backend.
+func (d *Device) GangK(row int) int { return d.mech.GangK(row) }
+
+// CloneRows lists the wordlines that fire for a row (itself alone when
+// un-ganged) — safe on every backend.
+func (d *Device) CloneRows(row int) []int { return d.mech.CloneRows(row) }
+
+// SupportsModeChange reports whether the active backend has an
+// MRS-programmable mode register; the controller consults it before
+// starting a drain.
+func (d *Device) SupportsModeChange() bool { return d.mech.SupportsModeChange() }
 
 // BankActivates returns a copy of the per-bank activate counters (indexed
 // by the flattened BankID), for balance diagnostics.

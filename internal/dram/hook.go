@@ -23,27 +23,8 @@ type Hook interface {
 func (d *Device) SetHook(h Hook) { d.hook = h }
 
 // MEff returns the effective refreshes-per-window class governing a row's
-// restore level under the current mechanisms: 1 (full restore) unless
+// restore level under the active mechanism: 1 (full restore) unless
 // Early-Precharge is on, in which case the band's K — reduced to the
-// band's M when Refresh-Skipping is honored.
-func (d *Device) MEff(row int) int {
-	if !d.cfg.Mech.EarlyPrecharge || d.quarantined[row] {
-		return 1
-	}
-	if d.cfg.Mech.RefreshSkipping {
-		return d.lgen.MAt(row)
-	}
-	return d.lgen.KAt(row)
-}
-
-// refreshMEff returns the restore class of a REF on rows of gang size k
-// with band skip setting m.
-func (d *Device) refreshMEff(k, m int) int {
-	if k == 1 || !d.cfg.Mech.FastRefresh || !d.cfg.Mech.EarlyPrecharge {
-		return 1
-	}
-	if d.cfg.Mech.RefreshSkipping {
-		return m
-	}
-	return k
-}
+// band's M when Refresh-Skipping is honored. Quarantined rows always
+// restore fully.
+func (d *Device) MEff(row int) int { return d.mech.MEff(row) }

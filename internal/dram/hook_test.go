@@ -39,18 +39,18 @@ func TestMEffClasses(t *testing.T) {
 // and skipping independently of the activation class.
 func TestRefreshMEffClasses(t *testing.T) {
 	d := newDevice(t, mcrtest.Mode(4, 2, 1), AllMechanisms())
-	if got := d.refreshMEff(4, 2); got != 2 {
+	if got := d.mech.RefreshMEff(4, 2); got != 2 {
 		t.Fatalf("refreshMEff(4,2) = %d, want 2", got)
 	}
-	if got := d.refreshMEff(1, 1); got != 1 {
+	if got := d.mech.RefreshMEff(1, 1); got != 1 {
 		t.Fatalf("normal refresh class = %d, want 1", got)
 	}
 	noFR := newDevice(t, mcrtest.Mode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, RefreshSkipping: true})
-	if got := noFR.refreshMEff(4, 2); got != 1 {
+	if got := noFR.mech.RefreshMEff(4, 2); got != 1 {
 		t.Fatalf("without Fast-Refresh the REF restores fully, got class %d", got)
 	}
 	noRS := newDevice(t, mcrtest.Mode(4, 2, 1), Mechanisms{EarlyAccess: true, EarlyPrecharge: true, FastRefresh: true})
-	if got := noRS.refreshMEff(4, 2); got != 4 {
+	if got := noRS.mech.RefreshMEff(4, 2); got != 4 {
 		t.Fatalf("without skipping a 2/4x band refreshes 4 times, got class %d", got)
 	}
 }

@@ -54,31 +54,8 @@ func TestNUATExcludesOtherSchemes(t *testing.T) {
 	}
 }
 
-// TestNUATBinsMonotone: fresher bins have lower or equal tRCD, the stalest
-// bin stays at the DDR3 baseline floor.
-func TestNUATBinsMonotone(t *testing.T) {
-	s, err := newNUATState(true, DefaultNUATConfig(), mcr.KtoN1K, 32768)
-	if err != nil {
-		t.Fatal(err)
-	}
-	base := timing.NewParams(timing.Baseline1x(true))
-	prev := 0
-	for i, p := range s.bins {
-		if i > 0 && p.TRCD < prev {
-			t.Fatalf("bin %d fresher than bin %d", i, i-1)
-		}
-		if p.TRCD > base.TRCD {
-			t.Fatalf("bin %d slower than the baseline", i)
-		}
-		if p.TRAS != base.TRAS {
-			t.Fatalf("NUAT must not touch tRAS (bin %d)", i)
-		}
-		prev = p.TRCD
-	}
-	if s.bins[0].TRCD >= base.TRCD {
-		t.Fatal("the freshest bin must actually be faster")
-	}
-}
+// The bin-monotonicity invariant lives with the backend now: see
+// TestNUATBinsMonotone in internal/mech.
 
 // TestNUATFreshnessTracksRefreshProgress: right after a row's refresh slot
 // passes, the row is in the freshest class; just before, in the stalest.

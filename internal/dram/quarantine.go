@@ -1,39 +1,18 @@
 // Row quarantine: the graceful-degradation fallback for rows caught (or
-// suspected) failing under MCR timing. A quarantined row is permanently
-// demoted to conventional 1x operation — full DDR3 timing and full restore
-// — regardless of the band it sits in, modeling a controller that maps a
-// weak MCR gang back to safe per-row operation after an ECC event.
+// suspected) failing under aggressive timing. A quarantined row is
+// permanently demoted to conventional 1x operation — full DDR3 timing
+// and full restore — with the active backend deciding what else the
+// demotion tears down (an MCR gang demotes whole, a CROW copy is
+// discarded, a CLR pair uncouples).
 
 package dram
 
-import "sort"
-
-// Quarantine demotes a row and its entire clone gang to 1x operation (the
-// gang shares wordlines, so no member can stay ganged once one is
-// suspect). It returns how many rows were newly quarantined.
-func (d *Device) Quarantine(row int) int {
-	if d.quarantined == nil {
-		d.quarantined = make(map[int]bool)
-	}
-	added := 0
-	for _, r := range d.lgen.CloneRows(row) {
-		if !d.quarantined[r] {
-			d.quarantined[r] = true
-			added++
-		}
-	}
-	return added
-}
+// Quarantine demotes a row and whatever structure it shares to baseline
+// operation. It returns how many rows were newly quarantined.
+func (d *Device) Quarantine(row int) int { return d.mech.Quarantine(row) }
 
 // IsQuarantined reports whether a row has been demoted to 1x operation.
-func (d *Device) IsQuarantined(row int) bool { return d.quarantined[row] }
+func (d *Device) IsQuarantined(row int) bool { return d.mech.IsQuarantined(row) }
 
 // QuarantinedRows returns the demoted rows in ascending order.
-func (d *Device) QuarantinedRows() []int {
-	out := make([]int, 0, len(d.quarantined))
-	for r := range d.quarantined {
-		out = append(out, r)
-	}
-	sort.Ints(out)
-	return out
-}
+func (d *Device) QuarantinedRows() []int { return d.mech.QuarantinedRows() }

@@ -4,8 +4,127 @@ import (
 	"reflect"
 	"testing"
 
+	"repro/internal/mcr"
 	"repro/internal/mcr/mcrtest"
 )
+
+// TestQuarantineAcrossBackends: the resilience policy quarantines rows
+// without caring which mechanism is active — every backend must take the
+// demotion without panicking, report it, and keep RowParams/MEff
+// consistent. MCR demotes the whole clone gang; the comparators demote
+// the single row (TL-DRAM and NUAT keep their segment/freshness timing,
+// which is positional, not a per-row acceleration to revoke).
+func TestQuarantineAcrossBackends(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+		// rows newly demoted by the first Quarantine(row) call
+		wantDemoted int
+		// quarantine forces conventional timing for the row
+		wantNormalTRCD bool
+	}{
+		{
+			name:           "mcr",
+			cfg:            func() Config { return DefaultConfig(mcrtest.Mode(4, 4, 1)) },
+			wantDemoted:    4,
+			wantNormalTRCD: true,
+		},
+		{
+			name: "tldram",
+			cfg: func() Config {
+				c := DefaultConfig(mcr.Off())
+				tl := DefaultTLConfig()
+				c.TL = &tl
+				return c
+			},
+			wantDemoted:    1,
+			wantNormalTRCD: false, // near/far class is positional
+		},
+		{
+			name: "nuat",
+			cfg: func() Config {
+				c := DefaultConfig(mcr.Off())
+				n := DefaultNUATConfig()
+				c.NUAT = &n
+				return c
+			},
+			wantDemoted:    1,
+			wantNormalTRCD: false, // freshness class is refresh-positional
+		},
+		{
+			name: "crow",
+			cfg: func() Config {
+				c := DefaultConfig(mcr.Off())
+				cr := DefaultCROWConfig()
+				c.CROW = &cr
+				return c
+			},
+			wantDemoted:    1,
+			wantNormalTRCD: true,
+		},
+		{
+			name: "clr",
+			cfg: func() Config {
+				c := DefaultConfig(mcr.Off())
+				cl := DefaultCLRConfig()
+				c.CLR = &cl
+				return c
+			},
+			wantDemoted:    1,
+			wantNormalTRCD: true,
+		},
+	}
+	const row = 16
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dev, err := New(tc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if added := dev.Quarantine(row); added != tc.wantDemoted {
+				t.Fatalf("Quarantine demoted %d rows, want %d", added, tc.wantDemoted)
+			}
+			if added := dev.Quarantine(row); added != 0 {
+				t.Fatalf("re-quarantine demoted %d rows, want 0", added)
+			}
+			if !dev.IsQuarantined(row) {
+				t.Fatal("row not reported quarantined")
+			}
+			found := false
+			for _, r := range dev.QuarantinedRows() {
+				if r == row {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("QuarantinedRows %v misses row %d", dev.QuarantinedRows(), row)
+			}
+			p, inMCR := dev.RowParams(row)
+			if inMCR {
+				t.Fatal("quarantined row still reports MCR timing")
+			}
+			if p == nil {
+				t.Fatal("RowParams returned nil for a quarantined row")
+			}
+			if tc.wantNormalTRCD && p.TRCD != dev.Timings().Normal.TRCD {
+				t.Fatalf("quarantined row tRCD = %d, want normal %d", p.TRCD, dev.Timings().Normal.TRCD)
+			}
+			if dev.MEff(row) != 1 {
+				t.Fatalf("quarantined row restore class %d, want 1 (full restore)", dev.MEff(row))
+			}
+			// Demotion must not break unrelated rows or gang queries.
+			if dev.IsQuarantined(row + 1024) {
+				t.Fatal("unrelated row quarantined")
+			}
+			if k := dev.GangK(row); k < 1 {
+				t.Fatalf("GangK(%d) = %d after quarantine", row, k)
+			}
+			if dev.CloneRows(row+1024) == nil && tc.name == "mcr" {
+				t.Fatal("CloneRows must stay usable after quarantine")
+			}
+		})
+	}
+}
 
 func TestQuarantineDemotesGangTo1x(t *testing.T) {
 	dev, err := New(DefaultConfig(mcrtest.Mode(4, 4, 1)))

@@ -185,6 +185,8 @@ func BaselineOf(variant sim.Config) sim.Config {
 	base.DRAM.Layout = mcr.Layout{}
 	base.DRAM.TL = nil
 	base.DRAM.NUAT = nil
+	base.DRAM.CROW = nil
+	base.DRAM.CLR = nil
 	base.DRAM.Mech = dram.Mechanisms{}
 	base.AllocRatio = 0
 	base.AllocRatio4, base.AllocRatio2 = 0, 0

@@ -119,6 +119,35 @@ func WriteFig8(w io.Writer, rows []Fig8Row) error {
 	return nil
 }
 
+// WriteShootout renders the mechanism head-to-head: the execution-time
+// and EDP reduction tables, then one line per backend with its speedup
+// summary and its own adaptation counters.
+func WriteShootout(w io.Writer, r *ShootoutResult) error {
+	if err := WriteSweep(w, r.Sweep, "exec"); err != nil {
+		return err
+	}
+	if err := WriteSweep(w, r.Sweep, "edp"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "per-mechanism summary (counters summed over workloads)"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-20s %-8s %10s %10s %10s %10s %10s %10s %12s\n",
+		"config", "backend", "exec%", "edp%", "fastActs", "copies", "converts", "reverts", "capLossRows"); err != nil {
+		return err
+	}
+	for _, m := range r.Mechs {
+		avg := r.Sweep.Average[m.Config]
+		if _, err := fmt.Fprintf(w, "%-20s %-8s %10.2f %10.2f %10d %10d %10d %10d %12d\n",
+			m.Config, m.Mechanism, avg.ExecTime, avg.EDP,
+			m.Stats.FastActivates, m.Stats.Copies, m.Stats.Conversions,
+			m.Stats.Reversions, m.Stats.CapacityLossRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // SortedAverageConfigs returns the sweep's configurations sorted by mean
 // execution-time reduction, best first — handy for summaries.
 func SortedAverageConfigs(s *Sweep) []string {

@@ -19,13 +19,15 @@ type DeviceAdapter struct {
 	dev     *dram.Device
 }
 
-// deviceCloner resolves clone gangs through the device's *current* layout
-// generator on every call: an MRS (SetMode) replaces the generator, and a
-// checker holding the stale one would mis-group rows after a mode change.
+// deviceCloner resolves clone gangs through the device's *current*
+// mechanism on every call: an MRS (SetMode) rebuilds the MCR layout, and
+// a checker holding a stale generator would mis-group rows after a mode
+// change. Routing through the device also keeps the checker working on
+// backends with no layout generator at all (TL/NUAT/CROW/CLR).
 type deviceCloner struct{ dev *dram.Device }
 
 func (c deviceCloner) CloneRows(row int) []int {
-	return c.dev.LayoutGenerator().CloneRows(row)
+	return c.dev.CloneRows(row)
 }
 
 // Attach builds an adapter for the device and installs it as the hook.
@@ -55,7 +57,7 @@ func AttachWithFaults(dev *dram.Device, cfg Config, fm FaultModel) (*DeviceAdapt
 			if dev.IsQuarantined(row) {
 				return 1
 			}
-			if k := dev.LayoutGenerator().KAt(row); k > 1 {
+			if k := dev.GangK(row); k > 1 {
 				return k
 			}
 			return 1

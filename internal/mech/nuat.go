@@ -1,24 +1,25 @@
 // NUAT-like charge-aware timing (Shin et al., HPCA 2014 — the paper's
-// citation [27]), implemented as a second related-work comparator: a
+// citation [27]), implemented as a second related-work backend: a
 // conventional DRAM whose controller knows how long ago each row was
 // refreshed and issues column commands earlier to recently-refreshed
 // (charge-rich) rows. No rows are ganged and capacity is untouched; the
 // benefit decays across the refresh window and — the MCR paper's core
 // criticism — depends on predicting cell charge, which PVT variation
 // makes risky. Here the charge model is exact (it is a simulator), so
-// this comparator shows NUAT in its best light.
+// this backend shows NUAT in its best light.
 
-package dram
+package mech
 
 import (
 	"fmt"
 
 	"repro/internal/circuit"
 	"repro/internal/mcr"
+	"repro/internal/obs"
 	"repro/internal/timing"
 )
 
-// NUATConfig parameterizes the charge-aware comparator.
+// NUATConfig parameterizes the charge-aware backend.
 type NUATConfig struct {
 	// Bins is how many freshness classes the controller distinguishes
 	// across the retention window (NUAT's "charge steps").
@@ -46,32 +47,33 @@ func (c NUATConfig) Validate() error {
 	return nil
 }
 
-// nuatState holds the per-bin timing classes and the refresh-progress
+// NUAT holds the per-bin timing classes and the refresh-progress
 // bookkeeping needed to compute a row's freshness.
-type nuatState struct {
-	cfg     NUATConfig
-	bins    []timing.Params // index 0 = freshest
-	wiring  mcr.Wiring
-	rowBits int
+type NUAT struct {
+	base
+	ncfg NUATConfig
+	bins []timing.Params // index 0 = freshest
 	// counter is the global REF progress (total REFs ever issued); the
-	// device updates it on every refresh.
+	// device reports it via NoteRefresh.
 	counter int
 }
 
-// newNUATState derives the per-bin parameter sets from the circuit model:
+// newNUAT derives the per-bin parameter sets from the circuit model:
 // bin i assumes the charge a cell holds i/(Bins-1) of the way through the
 // retention window and takes the matching tRCD. tRAS stays at baseline
 // (NUAT's restore must still complete fully).
-func newNUATState(fourGb bool, cfg NUATConfig, wiring mcr.Wiring, rows int) (*nuatState, error) {
-	if err := cfg.Validate(); err != nil {
+func newNUAT(cfg Config) (*NUAT, error) {
+	b, err := newBase(cfg)
+	if err != nil {
 		return nil, err
 	}
+	ncfg := *cfg.NUAT
 	p := circuit.Default()
-	base := timing.Baseline1x(fourGb)
-	s := &nuatState{cfg: cfg, wiring: wiring, rowBits: log2(rows)}
-	for i := 0; i < cfg.Bins; i++ {
-		frac := float64(i) / float64(cfg.Bins-1)
-		level := 1 - (1-cfg.MinLevel)*frac
+	base := timing.Baseline1x(cfg.FourGb)
+	s := &NUAT{base: b, ncfg: ncfg}
+	for i := 0; i < ncfg.Bins; i++ {
+		frac := float64(i) / float64(ncfg.Bins-1)
+		level := 1 - (1-ncfg.MinLevel)*frac
 		tRCD, err := p.SenseTimeAt(1, level)
 		if err != nil {
 			return nil, err
@@ -87,37 +89,48 @@ func newNUATState(fourGb bool, cfg NUATConfig, wiring mcr.Wiring, rows int) (*nu
 	return s, nil
 }
 
-// log2 of a power of two.
-func log2(v int) int {
-	n := 0
-	for v > 1 {
-		v >>= 1
-		n++
-	}
-	return n
-}
+// Name implements Mechanism.
+func (s *NUAT) Name() string { return "nuat" }
 
 // binFor returns the freshness bin of a row given the global REF counter:
 // how far (in window fractions) the refresh walk has moved past the row's
 // slot.
-func (s *nuatState) binFor(row int) int {
+func (s *NUAT) binFor(row int) int {
 	// The row's refresh slot within the window: the counter value whose
 	// generated row address matches the row's low 13 bits (the batch index
 	// covers the rest).
 	low := row & (mcr.RefsPerWindow - 1)
-	slot := mcr.RefreshRowAddress(s.wiring, low, 13) // wiring is involutive for both methods
+	slot := mcr.RefreshRowAddress(s.cfg.Wiring, low, 13) // wiring is involutive for both methods
 	elapsed := (s.counter - slot) % mcr.RefsPerWindow
 	if elapsed < 0 {
 		elapsed += mcr.RefsPerWindow
 	}
-	bin := elapsed * s.cfg.Bins / mcr.RefsPerWindow
-	if bin >= s.cfg.Bins {
-		bin = s.cfg.Bins - 1
+	bin := elapsed * s.ncfg.Bins / mcr.RefsPerWindow
+	if bin >= s.ncfg.Bins {
+		bin = s.ncfg.Bins - 1
 	}
 	return bin
 }
 
-// params returns the timing set for a row's current freshness.
-func (s *nuatState) params(row int) *timing.Params {
-	return &s.bins[s.binFor(row)]
+// RowParams returns the timing set for a row's current freshness.
+func (s *NUAT) RowParams(row int) (*timing.Params, bool) {
+	return &s.bins[s.binFor(row)], false
 }
+
+// NoteRefresh tracks refresh progress for the charge-aware timing classes
+// (the ranks advance in lockstep; the last counter seen is a faithful
+// approximation of the window position).
+func (s *NUAT) NoteRefresh(counter int) { s.counter = counter }
+
+// OnActivate counts better-than-baseline freshness bins as fast activates.
+func (s *NUAT) OnActivate(row int, now int64) (int64, obs.EventKind, bool) {
+	if s.bins[s.binFor(row)].TRCD < s.tim.Normal.TRCD {
+		s.stats.FastActivates++
+	}
+	return 0, 0, false
+}
+
+// SetMode implements Mechanism: NUAT has no mode register.
+func (s *NUAT) SetMode(mode mcr.Mode, now int64) error { return noModes(s.Name()) }
+
+var _ Mechanism = (*NUAT)(nil)

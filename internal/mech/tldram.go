@@ -1,5 +1,5 @@
 // TL-DRAM-like alternative scheme (Lee et al., HPCA 2013), implemented as
-// a comparison baseline: the paper's related-work section contrasts
+// a comparison backend: the paper's related-work section contrasts
 // MCR-DRAM against tiered-latency DRAM, which splits every bitline with
 // isolation transistors into a fast *near* segment (rows close to the
 // sense amplifiers, much lower bitline capacitance) and a slightly
@@ -8,15 +8,17 @@
 // array untouched. This model lets the two philosophies race on the same
 // simulator.
 
-package dram
+package mech
 
 import (
 	"fmt"
 
+	"repro/internal/mcr"
+	"repro/internal/obs"
 	"repro/internal/timing"
 )
 
-// TLConfig parameterizes the TL-DRAM-like device.
+// TLConfig parameterizes the TL-DRAM-like backend.
 type TLConfig struct {
 	// NearRegion is the fraction of each sub-array in the near segment
 	// (rows at the high local addresses, nearest the amplifiers).
@@ -66,38 +68,59 @@ func tlTimings(fourGb bool, tl TLConfig) (near, far timing.Params) {
 	return timing.NewParams(nearNS), timing.NewParams(farNS)
 }
 
-// tlState is the device-side classifier for the TL scheme.
-type tlState struct {
-	cfg       TLConfig
+// TL is the TL-DRAM-like mechanism backend.
+type TL struct {
+	base
+	tcfg      TLConfig
 	nearStart int // first near-segment local index
 	subarray  int
 	near, far timing.Params
 }
 
-// newTLState builds the classifier.
-func newTLState(fourGb bool, tl TLConfig, subarrayRows int) (*tlState, error) {
-	if err := tl.Validate(); err != nil {
+// newTL builds the backend from a validated configuration.
+func newTL(cfg Config) (*TL, error) {
+	b, err := newBase(cfg)
+	if err != nil {
 		return nil, err
 	}
-	near, far := tlTimings(fourGb, tl)
-	return &tlState{
-		cfg:       tl,
-		nearStart: subarrayRows - int(tl.NearRegion*float64(subarrayRows)+0.5),
-		subarray:  subarrayRows,
+	tl := *cfg.TL
+	near, far := tlTimings(cfg.FourGb, tl)
+	subarray := cfg.Geom.RowsPerSubarray()
+	return &TL{
+		base:      b,
+		tcfg:      tl,
+		nearStart: subarray - int(tl.NearRegion*float64(subarray)+0.5),
+		subarray:  subarray,
 		near:      near,
 		far:       far,
 	}, nil
 }
 
-// isNear reports whether a row is in the near segment.
-func (s *tlState) isNear(row int) bool {
-	return row >= 0 && row&(s.subarray-1) >= s.nearStart
+// Name implements Mechanism.
+func (t *TL) Name() string { return "tldram" }
+
+// IsNear reports whether a row is in the near segment.
+func (t *TL) IsNear(row int) bool {
+	return row >= 0 && row&(t.subarray-1) >= t.nearStart
 }
 
-// params returns the segment's timing set.
-func (s *tlState) params(row int) *timing.Params {
-	if s.isNear(row) {
-		return &s.near
+// RowParams returns the segment's timing set (never an MCR class).
+func (t *TL) RowParams(row int) (*timing.Params, bool) {
+	if t.IsNear(row) {
+		return &t.near, false
 	}
-	return &s.far
+	return &t.far, false
 }
+
+// OnActivate counts near-segment activations as fast activates.
+func (t *TL) OnActivate(row int, now int64) (int64, obs.EventKind, bool) {
+	if t.IsNear(row) {
+		t.stats.FastActivates++
+	}
+	return 0, 0, false
+}
+
+// SetMode implements Mechanism: TL-DRAM has no mode register.
+func (t *TL) SetMode(mode mcr.Mode, now int64) error { return noModes(t.Name()) }
+
+var _ Mechanism = (*TL)(nil)

@@ -17,6 +17,11 @@ const (
 	EvWR
 	EvREF
 	EvREFSkip
+	// EvCopy is a CROW row copy, EvConvert a CLR capacity/latency
+	// conversion; both span the extra cycles charged to the triggering
+	// activation.
+	EvCopy
+	EvConvert
 	EvMRS
 	EvModeRequest
 	EvQuarantine
@@ -40,6 +45,10 @@ func (k EventKind) String() string {
 		return "REF"
 	case EvREFSkip:
 		return "REF-skip"
+	case EvCopy:
+		return "row-copy"
+	case EvConvert:
+		return "row-convert"
 	case EvMRS:
 		return "MRS"
 	case EvModeRequest:

@@ -71,6 +71,26 @@ func Write(w io.Writer, cfg sim.Config, res *sim.Result) error {
 		res.Dev.Refreshes, res.Dev.MCRRefreshes, res.Dev.SkippedRefreshes, res.Ctrl.ForcedRefreshes)
 	fmt.Fprintf(&b, "MCR request share  : %.1f%%\n", res.MCRRequestFraction*100)
 
+	if res.Mechanism != "" {
+		fmt.Fprintf(&b, "\n-- mechanism --\n")
+		fmt.Fprintf(&b, "backend            : %s\n", res.Mechanism)
+		if ms := res.MechStats; ms != nil {
+			fmt.Fprintf(&b, "fast activates     : %d\n", ms.FastActivates)
+			if ms.Copies > 0 || ms.CopyCycles > 0 {
+				fmt.Fprintf(&b, "row copies         : %d (%d cycles of copy overhead)\n", ms.Copies, ms.CopyCycles)
+			}
+			if ms.Conversions > 0 {
+				fmt.Fprintf(&b, "row conversions    : %d\n", ms.Conversions)
+			}
+			if ms.Reversions > 0 {
+				fmt.Fprintf(&b, "reversions         : %d\n", ms.Reversions)
+			}
+			if ms.CapacityLossRows > 0 {
+				fmt.Fprintf(&b, "capacity loss      : %d rows\n", ms.CapacityLossRows)
+			}
+		}
+	}
+
 	if o := res.Obs; o != nil {
 		fmt.Fprintf(&b, "\n-- observability --\n")
 		fmt.Fprintf(&b, "commands           : ACT %d  PRE %d  RD %d  WR %d  REF %d\n",

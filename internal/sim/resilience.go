@@ -93,7 +93,7 @@ func newResilience(cfg ResilienceConfig, dev *dram.Device, ctrl *controller.Cont
 		seen: make(map[[2]int]bool),
 	}
 	s.stats.InitialMode = modeLabel(dev)
-	if cfg.DowngradeAfter > 0 {
+	if cfg.DowngradeAfter > 0 && dev.SupportsModeChange() {
 		startK := 1
 		if m := dev.Config().Mode; m.Enabled() {
 			startK = m.K
@@ -154,7 +154,9 @@ func (s *resilienceState) poll(now int64) {
 	if err != nil {
 		return // already at the safest rung
 	}
-	s.ctrl.RequestModeChange(next)
+	if s.ctrl.RequestModeChange(next) != nil {
+		return // mode-less backend: quarantine-only degradation
+	}
 	s.stats.Downgrades++
 	s.tr.Emit(obs.Event{TS: now, Kind: obs.EvModeRequest, Channel: -1, Rank: -1, Bank: -1, Row: -1, Arg: int64(next.K)})
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
+	"repro/internal/mech"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/trace"
@@ -111,6 +112,13 @@ type Result struct {
 	MCRRequestFraction float64 // fraction of column reads served by MCR rows
 	Dev                dram.Stats
 	Ctrl               controller.Stats
+
+	// Mechanism names the active latency backend ("mcr", "tldram", "nuat",
+	// "crow", "clr") and MechStats carries its backend-specific counters
+	// (copies, conversions, reversions...). Both carry omitempty so result
+	// archives written before the mechanism seam stay byte-compatible.
+	Mechanism string      `json:",omitempty"`
+	MechStats *mech.Stats `json:",omitempty"`
 
 	// Latency is the read-latency distribution; Cores holds per-core
 	// summaries (in Workloads order).
@@ -446,6 +454,9 @@ func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller
 
 	res.Dev = dev.Stats()
 	res.Ctrl = ctrl.Stats()
+	res.Mechanism = dev.MechanismName()
+	mstats := dev.MechStats()
+	res.MechStats = &mstats
 	res.Obs = cfg.Metrics.Snapshot()
 	if res.Ctrl.ReadsDone > 0 {
 		res.MCRRequestFraction = float64(res.Ctrl.MCRReads) / float64(res.Ctrl.ReadsDone)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/integrity"
 	"repro/internal/mcr"
+	"repro/internal/mech"
 	"repro/internal/power"
 	"repro/internal/report"
 	"repro/internal/runplan"
@@ -270,6 +271,62 @@ func NUATLike(workload string, n NUATConfig) Config {
 
 // NUATDefaults returns the 8-bin, 20%-droop charge-aware setup.
 func NUATDefaults() NUATConfig { return dram.DefaultNUATConfig() }
+
+// CROWConfig parameterizes the CROW-like comparison backend: hot rows are
+// dynamically copied into spare clone rows of their subarray, and later
+// activations of a copied row drive both copies for reduced tRCD/tRAS.
+type CROWConfig = dram.CROWConfig
+
+// CROWLike returns the paper's single-core system as a CROW-like device.
+func CROWLike(workload string, c CROWConfig) Config {
+	cfg := sim.DefaultConfig(workload)
+	cfg.DRAM = dram.DefaultConfig(mcr.Off())
+	cfg.DRAM.CROW = &c
+	return cfg
+}
+
+// CROWDefaults returns the 8-spares-per-subarray, threshold-4 setup.
+func CROWDefaults() CROWConfig { return dram.DefaultCROWConfig() }
+
+// CLRConfig parameterizes the CLR-DRAM-like comparison backend: adjacent
+// row pairs dynamically couple into a single low-latency row (halved
+// capacity for the pair) and uncouple again on demand.
+type CLRConfig = dram.CLRConfig
+
+// CLRLike returns the paper's single-core system as a CLR-DRAM-like
+// device.
+func CLRLike(workload string, c CLRConfig) Config {
+	cfg := sim.DefaultConfig(workload)
+	cfg.DRAM = dram.DefaultConfig(mcr.Off())
+	cfg.DRAM.CLR = &c
+	return cfg
+}
+
+// CLRDefaults returns the threshold-4, 12.5%-coupled-fraction setup.
+func CLRDefaults() CLRConfig { return dram.DefaultCLRConfig() }
+
+// MechanismStats carries the active backend's own counters (fast
+// activates, row copies, conversions, reversions); see Result.MechStats.
+type MechanismStats = mech.Stats
+
+// MechanismShootout races all five latency backends (MCR, TL-DRAM, NUAT,
+// CROW, CLR-DRAM) head-to-head over the given single-core workloads
+// (nil = all 14) against one shared conventional baseline per workload.
+func MechanismShootout(opt ExperimentOptions, workloads []string) (*MechanismShootoutResult, error) {
+	if workloads == nil {
+		workloads = trace.SingleCoreNames()
+	}
+	return experiments.Shootout(opt, workloads)
+}
+
+// MechanismShootoutResult is the head-to-head sweep plus per-backend
+// counter aggregation.
+type MechanismShootoutResult = experiments.ShootoutResult
+
+// WriteShootout renders the shootout tables.
+func WriteShootout(w io.Writer, r *MechanismShootoutResult) error {
+	return experiments.WriteShootout(w, r)
+}
 
 // WriteReport renders a USIMM-style run report.
 func WriteReport(w io.Writer, cfg Config, res *Result) error {
