@@ -3,19 +3,26 @@
 //
 // Usage:
 //
-//	mcrlint [-json] [-checks] [-baseline file] [-write-baseline file] [packages]
+//	mcrlint [-json] [-list] [-checks names] [-baseline file] [-write-baseline file] [packages]
 //
 // Packages are directories relative to the current module, with "./..."
 // expanding to every package in the module (the usual invocation is
 // "mcrlint ./..."). With no arguments it analyzes the whole module.
+//
+// -checks selects a comma-separated subset of the registered checks
+// (default: all). An unknown name is an invocation error (exit 2) with
+// a "did you mean" suggestion — never a silently empty run. -list
+// prints the registered checks and exits.
 //
 // With -baseline, findings recorded in the baseline file are demoted to
 // stderr warnings and do not affect the exit status; only findings
 // absent from the baseline fail the run. Baseline entries are keyed by
 // (check, module-relative file, message) — line numbers are deliberately
 // left out so unrelated edits shifting a finding by a few lines do not
-// invalidate the baseline. -write-baseline records the current findings
-// to the named file and exits 0.
+// invalidate the baseline. Baseline entries for checks that were run but
+// no longer report (not even in allow-suppressed form) are warned about
+// as stale. -write-baseline records the current findings to the named
+// file and exits 0.
 //
 // Exit status is 0 when all checks pass, 1 when any non-baselined
 // diagnostic is reported, and 2 when analysis itself fails (parse or
@@ -31,6 +38,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analysis"
@@ -38,11 +46,12 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
-	listChecks := flag.Bool("checks", false, "list registered checks and exit")
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	listChecks := flag.Bool("list", false, "list registered checks and exit")
 	baseline := flag.String("baseline", "", "demote findings recorded in this baseline file to warnings")
 	writeBaseline := flag.String("write-baseline", "", "record current findings to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mcrlint [-json] [-checks] [-baseline file] [-write-baseline file] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mcrlint [-json] [-list] [-checks names] [-baseline file] [-write-baseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -53,10 +62,15 @@ func main() {
 		}
 		return
 	}
-	os.Exit(run(flag.Args(), *jsonOut, *baseline, *writeBaseline))
+	os.Exit(run(flag.Args(), *jsonOut, *checks, *baseline, *writeBaseline))
 }
 
-func run(args []string, jsonOut bool, baseline, writeBaseline string) int {
+func run(args []string, jsonOut bool, checks, baseline, writeBaseline string) int {
+	analyzers, err := selectChecks(checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcrlint:", err)
+		return 2
+	}
 	root, module, err := findModule()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mcrlint:", err)
@@ -69,7 +83,7 @@ func run(args []string, jsonOut bool, baseline, writeBaseline string) int {
 	}
 
 	loader := analysis.NewLoader(root, module)
-	var diags []analysis.Diagnostic
+	var diags, suppressed []analysis.Diagnostic
 	failed := false
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(root, dir)
@@ -87,7 +101,9 @@ func run(args []string, jsonOut bool, baseline, writeBaseline string) int {
 			failed = true
 			continue
 		}
-		diags = append(diags, analysis.RunChecks(pkg, analysis.All())...)
+		kept, sup := analysis.RunChecksCollect(pkg, analyzers)
+		diags = append(diags, kept...)
+		suppressed = append(suppressed, sup...)
 	}
 	// The same file can be analyzed under more than one package variant;
 	// collapse exact duplicates and fix a deterministic output order
@@ -108,6 +124,23 @@ func run(args []string, jsonOut bool, baseline, writeBaseline string) int {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mcrlint:", err)
 			return 2
+		}
+		// A baseline entry still counts as present when its finding was
+		// allow-suppressed; only entries for checks that ran and truly
+		// reported nothing are stale.
+		seen := map[string]bool{}
+		for _, d := range diags {
+			seen[baselineKey(root, d)] = true
+		}
+		for _, d := range suppressed {
+			seen[baselineKey(root, d)] = true
+		}
+		ran := map[string]bool{}
+		for _, a := range analyzers {
+			ran[a.Name] = true
+		}
+		for _, key := range staleEntries(known, seen, ran) {
+			fmt.Fprintf(os.Stderr, "mcrlint: stale baseline entry (no longer reported): %s\n", key)
 		}
 		kept := diags[:0]
 		for _, d := range diags {
@@ -142,6 +175,93 @@ func run(args []string, jsonOut bool, baseline, writeBaseline string) int {
 		return 1
 	}
 	return 0
+}
+
+// selectChecks resolves a comma-separated -checks value to analyzers.
+// The empty spec selects every registered check; an unknown name is an
+// error carrying a "did you mean" suggestion, so a typo can never run
+// an empty check set and exit 0 vacuously.
+func selectChecks(spec string) ([]*analysis.Analyzer, error) {
+	all := analysis.All()
+	if strings.TrimSpace(spec) == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var sel []*analysis.Analyzer
+	seen := map[string]bool{}
+	for _, name := range strings.Split(spec, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			msg := fmt.Sprintf("unknown check %q", name)
+			if s := nearestCheck(name, all); s != "" {
+				msg += fmt.Sprintf(" (did you mean %q?)", s)
+			}
+			return nil, fmt.Errorf("%s; run mcrlint -list for the registered checks", msg)
+		}
+		if !seen[name] {
+			seen[name] = true
+			sel = append(sel, a)
+		}
+	}
+	if len(sel) == 0 {
+		return nil, fmt.Errorf("-checks %q selects no checks", spec)
+	}
+	return sel, nil
+}
+
+// nearestCheck suggests the registered check closest to name, when the
+// edit distance is small enough to look like a typo.
+func nearestCheck(name string, all []*analysis.Analyzer) string {
+	best, bestDist := "", 3 // suggest within edit distance 2
+	for _, a := range all {
+		if d := editDistance(name, a.Name); d < bestDist {
+			best, bestDist = a.Name, d
+		}
+	}
+	return best
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+// staleEntries returns the baseline keys (sorted) that belong to a
+// check that ran this invocation yet matched no finding, kept or
+// allow-suppressed.
+func staleEntries(known, seen, ran map[string]bool) []string {
+	var stale []string
+	for key := range known {
+		check, _, _ := strings.Cut(key, "|")
+		if ran[check] && !seen[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	return stale
 }
 
 // baselineKey is the identity of a finding for baseline matching:

@@ -34,6 +34,25 @@ func f() {
 	}
 }
 
+func TestAllowMultipleDirectivesHotChecks(t *testing.T) {
+	// One comment sanctioning the same line for all three hot-path
+	// checks — the shape a deliberate dispatch-seam exception uses.
+	set := parseAllows(t, `package p
+
+func f() {
+	g() //mcrlint:allow hotalloc ring reuse //mcrlint:allow hotbox trace sink //mcrlint:allow hotlock drained channel
+}
+`)
+	for _, check := range []string{"hotalloc", "hotbox", "hotlock"} {
+		if !set.at("a.go", 4, check) {
+			t.Errorf("directive for %q on line 4 not collected: %v", check, set)
+		}
+	}
+	if set.at("a.go", 4, "detflow") {
+		t.Error("unnamed check suppressed")
+	}
+}
+
 func TestAllowWrongCheckDoesNotSuppress(t *testing.T) {
 	set := parseAllows(t, `package p
 

@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/analysis/flow"
+	"repro/internal/analysis/heap"
 )
 
 // Diagnostic is one finding of one check.
@@ -52,9 +53,14 @@ type Pass struct {
 	// (nil only for hand-built passes without a loader); the
 	// flow-sensitive checks consult it for transitive facts.
 	Summaries *flow.Store
+	// Heap is the module's heap/escape summary store (nil without a
+	// loader); the hot-path checks consult it for allocation, boxing
+	// and blocking reachability.
+	Heap *heap.Store
 
-	check  string
-	report func(Diagnostic)
+	check            string
+	report           func(Diagnostic)
+	reportSuppressed func(Diagnostic)
 }
 
 // FlowPkg adapts the pass's package for the flow layer.
@@ -67,6 +73,33 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	p.report(Diagnostic{
 		Check:   p.check,
 		Pos:     p.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPosf records a diagnostic at an already-resolved position —
+// the hot-path checks report at allocation sites that may live in a
+// different package than the pass's.
+func (p *Pass) ReportPosf(pos token.Position, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:   p.check,
+		Pos:     pos,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportSuppressedPosf records a diagnostic that is already known to be
+// allow-suppressed at its source. The hot-path checks use it for sites
+// whose allow comment lives in another package than the pass's — the
+// pass-level allow set cannot see it, yet the finding must still count
+// as "present" for the driver's stale-baseline detection.
+func (p *Pass) ReportSuppressedPosf(pos token.Position, format string, args ...any) {
+	if p.reportSuppressed == nil {
+		return
+	}
+	p.reportSuppressed(Diagnostic{
+		Check:   p.check,
+		Pos:     pos,
 		Message: fmt.Sprintf(format, args...),
 	})
 }
@@ -90,8 +123,9 @@ type Analyzer struct {
 }
 
 // All returns every registered check, in stable order. The first five
-// are syntactic; the last three are flow-sensitive, built on
-// internal/analysis/flow.
+// are syntactic; the next three are flow-sensitive, built on
+// internal/analysis/flow; the last three are the hot-path hygiene trio
+// built on internal/analysis/heap.
 func All() []*Analyzer {
 	return []*Analyzer{
 		TimingLiteral,
@@ -102,6 +136,9 @@ func All() []*Analyzer {
 		DetFlow,
 		LockScope,
 		CaptureRace,
+		HotAlloc,
+		HotBox,
+		HotLock,
 	}
 }
 
@@ -109,12 +146,22 @@ func All() []*Analyzer {
 // returns the surviving diagnostics (allow-comments already applied),
 // ordered by position.
 func RunChecks(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	kept, _ := RunChecksCollect(pkg, analyzers)
+	return kept
+}
+
+// RunChecksCollect is RunChecks plus the allow-suppressed diagnostics,
+// which the driver needs for stale-baseline detection: a finding that
+// gained an //mcrlint:allow must still count as "present" so its
+// baseline entry is not warned about as stale.
+func RunChecksCollect(pkg *Package, analyzers []*Analyzer) (kept, suppressed []Diagnostic) {
 	allowed := collectAllows(pkg.Fset, pkg.Files)
 	var store *flow.Store
+	var heapStore *heap.Store
 	if pkg.loader != nil {
 		store = pkg.loader.Summaries()
+		heapStore = pkg.loader.Heap()
 	}
-	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:      pkg.Fset,
@@ -123,17 +170,24 @@ func RunChecks(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			Pkg:       pkg.Types,
 			Info:      pkg.Info,
 			Summaries: store,
+			Heap:      heapStore,
 			check:     a.Name,
 		}
 		pass.report = func(d Diagnostic) {
-			if !allowed.allows(d) {
-				out = append(out, d)
+			if allowed.allows(d) {
+				suppressed = append(suppressed, d)
+			} else {
+				kept = append(kept, d)
 			}
+		}
+		pass.reportSuppressed = func(d Diagnostic) {
+			suppressed = append(suppressed, d)
 		}
 		a.Run(pass)
 	}
-	sortDiagnostics(out)
-	return out
+	sortDiagnostics(kept)
+	sortDiagnostics(suppressed)
+	return kept, suppressed
 }
 
 // SortDiagnostics orders diagnostics by file, line, column, check name,

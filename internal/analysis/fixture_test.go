@@ -66,6 +66,12 @@ func runFixture(t *testing.T, moduleRoot string, a *Analyzer) {
 	if len(dirs) == 0 {
 		t.Fatalf("%s: empty fixture", moduleRoot)
 	}
+	// Load every package first, then match wants globally: the hot-path
+	// checks report at allocation sites that may sit in a dependency
+	// package of the root's package, so expectations and diagnostics
+	// cannot be paired per package.
+	var pkgs []*Package
+	var diags []Diagnostic
 	for _, dir := range dirs {
 		rel, err := filepath.Rel(abs, dir)
 		if err != nil {
@@ -79,9 +85,15 @@ func runFixture(t *testing.T, moduleRoot string, a *Analyzer) {
 		if err != nil {
 			t.Fatalf("load %s: %v", path, err)
 		}
-		diags := RunChecks(pkg, []*Analyzer{a})
-		checkExpectations(t, pkg, diags)
+		pkgs = append(pkgs, pkg)
+		diags = append(diags, RunChecks(pkg, []*Analyzer{a})...)
 	}
+	diags = Dedupe(diags)
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		wants = append(wants, collectWants(t, pkg)...)
+	}
+	checkExpectations(t, wants, diags)
 }
 
 type expectation struct {
@@ -91,7 +103,8 @@ type expectation struct {
 	matched bool
 }
 
-func checkExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
+// collectWants extracts the `// want` expectations of one package.
+func collectWants(t *testing.T, pkg *Package) []*expectation {
 	t.Helper()
 	var wants []*expectation
 	for _, f := range pkg.Files {
@@ -116,6 +129,11 @@ func checkExpectations(t *testing.T, pkg *Package, diags []Diagnostic) {
 			}
 		}
 	}
+	return wants
+}
+
+func checkExpectations(t *testing.T, wants []*expectation, diags []Diagnostic) {
+	t.Helper()
 	for _, d := range diags {
 		if w := matchWant(wants, d); w != nil {
 			w.matched = true

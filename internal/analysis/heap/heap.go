@@ -1,0 +1,267 @@
+// Package heap is the interprocedural heap/escape layer under mcrlint:
+// it enumerates the allocation, interface-boxing and blocking sites of
+// every module function and propagates them bottom-up over the import
+// DAG as memoized per-function summaries, so a check can ask "does
+// calling this function ever reach the allocator (or a lock)?" and get
+// back the offending source position plus the call chain that reaches
+// it. Built on the same stdlib-only substrate as internal/analysis/flow
+// (go/ast + go/types); blocking facts are shared with the flow layer's
+// function summaries rather than recomputed where a body is not
+// available to this store.
+//
+// The verdict lattice per candidate site is deliberately small and
+// documented (DESIGN row 24):
+//
+//   - make(map), make(chan), variable-length make([]T, n): always heap.
+//   - new(T), &T{...}, []T{...}, map literals, constant-length make:
+//     heap iff the value escapes — returned, stored through a pointer /
+//     selector / index, stored to a global, passed to a call, sent on a
+//     channel, captured by a closure, or aliased; a value whose only
+//     uses are local field/element reads and writes stays off the heap
+//     (the compiler stack-allocates it).
+//   - append: always a growth site (amortized growth is still
+//     allocation; deliberate ring/scratch appends carry an allow).
+//   - value-to-interface conversions, variadic ...interface arguments,
+//     method values and capturing closures: boxing sites (KindBox).
+//     Pointer-shaped values and constants box without allocating and
+//     are skipped.
+//   - channel operations, selects without default, sync.Mutex/RWMutex
+//     Lock, sync.WaitGroup.Wait, sync.Once.Do, time.Sleep and
+//     syscall-backed I/O (os, io, bufio, net, log, fmt print/scan):
+//     blocking sites (KindBlock).
+//
+// Sites inside the argument list of a panic call are skipped: a
+// panicking run is already off the steady-state path the zero-alloc
+// guarantee covers. A site carrying an //mcrlint:allow comment for the
+// matching check on (or above) its line is marked Allowed — it stays in
+// the summary (so the driver can count it as present for stale-baseline
+// detection) but the checks demote it to a suppressed diagnostic,
+// mirroring the taint layer's source suppression.
+package heap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/flow"
+)
+
+// Kind classifies a site; each kind backs one mcrlint check.
+type Kind int
+
+// Site kinds.
+const (
+	// KindAlloc is a heap allocation (escaping literal, make, append
+	// growth, string building, known stdlib allocator, closure).
+	KindAlloc Kind = iota
+	// KindBox is a value-to-interface boxing allocation (conversion,
+	// variadic interface argument, method value).
+	KindBox
+	// KindBlock is a blocking operation (channel, lock, sleep, I/O).
+	KindBlock
+)
+
+// Check returns the mcrlint check name enforcing the kind on hot paths.
+func (k Kind) Check() string {
+	switch k {
+	case KindBox:
+		return "hotbox"
+	case KindBlock:
+		return "hotlock"
+	}
+	return "hotalloc"
+}
+
+// Site is one allocation/boxing/blocking occurrence attributable to
+// calling the summarized function.
+type Site struct {
+	// Pos is the source position of the operation itself — possibly in
+	// a callee several packages away.
+	Pos  token.Position
+	Kind Kind
+	// What describes the operation ("composite literal escapes (returned)",
+	// "boxing int into any (argument to fmt.Sprintf)").
+	What string
+	// Via is the call chain from the summarized function to the site,
+	// outermost callee first; empty for the function's own sites.
+	Via []string
+	// Allowed marks a site carrying an //mcrlint:allow annotation for its
+	// check at the source. Allowed sites stay in the summary — the driver
+	// counts them as present for stale-baseline detection — but the checks
+	// demote them to suppressed diagnostics instead of findings.
+	Allowed bool
+}
+
+// maxSites caps a summary so pathological fan-in stays bounded; the
+// checks only need existence plus a witness chain, not every path.
+const maxSites = 32
+
+// Summary is the heap fact set of one function: every site (own and
+// transitive, deduplicated by position and kind, capped at maxSites)
+// reachable by calling it.
+type Summary struct {
+	known bool
+	Sites []Site
+}
+
+// Known reports whether the summary was computed from a real body.
+func (s *Summary) Known() bool { return s != nil && s.known }
+
+// Kind filters the summary's sites by kind.
+func (s *Summary) Kind(k Kind) []Site {
+	if s == nil {
+		return nil
+	}
+	var out []Site
+	for _, site := range s.Sites {
+		if site.Kind == k {
+			out = append(out, site)
+		}
+	}
+	return out
+}
+
+var zeroSummary = &Summary{}
+
+// Store computes and caches heap summaries for one loaded module,
+// mirroring flow.Store's bottom-up-on-demand model: the loader
+// type-checks imports before importers, so a callee's summary is always
+// computable by the time its caller is analyzed; recursion is broken
+// optimistically (a cycle member sees its peers as site-free, which
+// under-approximates only for sites existing solely on the cycle).
+type Store struct {
+	// Flow is the flow layer's summary store; its blocking facts
+	// (channel/select/sleep reachability) stand in for callees whose
+	// bodies this store cannot see.
+	Flow *flow.Store
+	// Resolve maps an import path to its loaded package, or nil when the
+	// path is outside the module (stdlib).
+	Resolve func(path string) *flow.Pkg
+	// Allowed reports whether a source position carries an allow
+	// annotation for the given check, suppressing the site at its source.
+	Allowed func(pos token.Position, check string) bool
+
+	sums  map[*types.Func]*Summary
+	busy  map[*types.Func]bool
+	decls map[string]map[*types.Func]*ast.FuncDecl
+}
+
+// NewStore builds a heap-summary store; fl and allowed may be nil.
+func NewStore(fl *flow.Store, resolve func(path string) *flow.Pkg, allowed func(pos token.Position, check string) bool) *Store {
+	return &Store{
+		Flow:    fl,
+		Resolve: resolve,
+		Allowed: allowed,
+		sums:    map[*types.Func]*Summary{},
+		busy:    map[*types.Func]bool{},
+		decls:   map[string]map[*types.Func]*ast.FuncDecl{},
+	}
+}
+
+// FuncSummary returns fn's heap summary, computing it on first request.
+// The zero summary (Known false) is returned for functions without an
+// analyzable body (stdlib, interface methods, func values).
+func (s *Store) FuncSummary(fn *types.Func) *Summary {
+	if fn == nil || fn.Pkg() == nil || s.Resolve == nil {
+		return zeroSummary
+	}
+	if sum, ok := s.sums[fn]; ok {
+		return sum
+	}
+	if s.busy[fn] {
+		return zeroSummary // recursion: optimistic zero
+	}
+	pkg := s.Resolve(fn.Pkg().Path())
+	if pkg == nil {
+		s.sums[fn] = zeroSummary
+		return zeroSummary
+	}
+	decl := s.declIndex(fn.Pkg().Path(), pkg)[fn]
+	if decl == nil || decl.Body == nil {
+		s.sums[fn] = zeroSummary
+		return zeroSummary
+	}
+	s.busy[fn] = true
+	sum := s.compute(pkg, decl)
+	delete(s.busy, fn)
+	s.sums[fn] = sum
+	return sum
+}
+
+// declIndex lazily maps a package's *types.Func objects to their decls.
+func (s *Store) declIndex(path string, pkg *flow.Pkg) map[*types.Func]*ast.FuncDecl {
+	if idx, ok := s.decls[path]; ok {
+		return idx
+	}
+	idx := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				idx[fn] = fd
+			}
+		}
+	}
+	s.decls[path] = idx
+	return idx
+}
+
+// compute scans one function body for its own sites and folds in the
+// summaries of its module callees.
+func (s *Store) compute(pkg *flow.Pkg, decl *ast.FuncDecl) *Summary {
+	sc := &scanner{store: s, pkg: pkg}
+	sc.scan(decl)
+	return &Summary{known: true, Sites: sc.sites}
+}
+
+// add appends a site unless it is already present (same position and
+// kind) or the summary is full. A site allow-suppressed at its source is
+// kept but marked, so callers can tell a sanctioned site from a finding.
+func (sc *scanner) add(site Site) {
+	if len(sc.sites) >= maxSites {
+		return
+	}
+	if sc.store.Allowed != nil && sc.store.Allowed(site.Pos, site.Kind.Check()) {
+		site.Allowed = true
+	}
+	for _, have := range sc.sites {
+		if have.Kind == site.Kind && have.Pos == site.Pos {
+			return
+		}
+	}
+	sc.sites = append(sc.sites, site)
+}
+
+// mergeCall folds a module callee's summary into the current function,
+// prefixing the via chain; for callees without an analyzable body it
+// falls back to the flow layer's blocking facts, so channel blocking
+// established there is not lost at this store's horizon.
+func (sc *scanner) mergeCall(call *ast.CallExpr, callee *types.Func) {
+	cs := sc.store.FuncSummary(callee)
+	if cs.Known() {
+		name := flow.FuncDisplayName(callee)
+		for _, site := range cs.Sites {
+			via := make([]string, 0, len(site.Via)+1)
+			via = append(append(via, name), site.Via...)
+			sc.add(Site{Pos: site.Pos, Kind: site.Kind, What: site.What, Via: via, Allowed: site.Allowed})
+		}
+		return
+	}
+	if sc.store.Flow == nil {
+		return
+	}
+	if fs := sc.store.Flow.FuncSummary(callee); fs.Blocks {
+		via := make([]string, 0, len(fs.BlocksVia)+1)
+		via = append(append(via, flow.FuncDisplayName(callee)), fs.BlocksVia...)
+		sc.add(Site{
+			Pos:  sc.pkg.Fset.Position(call.Pos()),
+			Kind: KindBlock,
+			What: "a call that can block on " + fs.BlocksOn,
+			Via:  via,
+		})
+	}
+}

@@ -1,0 +1,139 @@
+// Summary-level tests for the heap/escape store, against the miniature
+// module under testdata/src/summary: own-site enumeration, transitive
+// via chains over two hops, allow marking, per-site dedup and the zero
+// summary for bodyless functions. The check-level behaviour (diagnostic
+// wording, suppression demotion) is covered by the fixture harness in
+// internal/analysis.
+package heap_test
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/heap"
+)
+
+// loadFixture loads the summary fixture module and returns its packages
+// by package name plus the heap store over them.
+func loadFixture(t *testing.T) (map[string]*analysis.Package, *heap.Store) {
+	t.Helper()
+	abs, err := filepath.Abs(filepath.Join("testdata", "src", "summary"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader := analysis.NewLoader(abs, "repro")
+	dirs, err := analysis.PackageDirs(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := map[string]*analysis.Package{}
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(abs, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := "repro/" + filepath.ToSlash(rel)
+		pkg, err := loader.Load(dir, path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		pkgs[pkg.Types.Name()] = pkg
+	}
+	return pkgs, loader.Heap()
+}
+
+// funcOf resolves a top-level function declaration to its object.
+func funcOf(t *testing.T, pkg *analysis.Package, name string) *types.Func {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					return fn
+				}
+			}
+		}
+	}
+	t.Fatalf("function %s not found in %s", name, pkg.Path)
+	return nil
+}
+
+func TestOwnSites(t *testing.T) {
+	pkgs, store := loadFixture(t)
+	leaf := pkgs["leaf"]
+
+	alloc := store.FuncSummary(funcOf(t, leaf, "Alloc"))
+	if !alloc.Known() {
+		t.Fatal("Alloc summary not computed")
+	}
+	sites := alloc.Kind(heap.KindAlloc)
+	if len(sites) != 1 {
+		t.Fatalf("Alloc has %d alloc sites, want 1: %v", len(sites), sites)
+	}
+	if s := sites[0]; len(s.Via) != 0 || !strings.Contains(s.What, "escapes to the heap (returned)") {
+		t.Errorf("Alloc's own site misclassified: %+v", s)
+	}
+
+	box := store.FuncSummary(funcOf(t, leaf, "Box")).Kind(heap.KindBox)
+	if len(box) != 1 || !strings.Contains(box[0].What, "boxing int") {
+		t.Errorf("Box sites = %v, want one boxing-int site", box)
+	}
+
+	block := store.FuncSummary(funcOf(t, leaf, "Wait")).Kind(heap.KindBlock)
+	if len(block) != 1 || !strings.Contains(block[0].What, "sync.Mutex.Lock") {
+		t.Errorf("Wait sites = %v, want one Mutex.Lock site", block)
+	}
+}
+
+func TestAllowedSiteMarkedNotDropped(t *testing.T) {
+	pkgs, store := loadFixture(t)
+	sites := store.FuncSummary(funcOf(t, pkgs["leaf"], "Grow")).Kind(heap.KindAlloc)
+	if len(sites) != 1 {
+		t.Fatalf("Grow has %d alloc sites, want the sanctioned append: %v", len(sites), sites)
+	}
+	if !sites[0].Allowed {
+		t.Errorf("allow-annotated append not marked Allowed: %+v", sites[0])
+	}
+}
+
+func TestTransitiveViaChain(t *testing.T) {
+	pkgs, store := loadFixture(t)
+	sites := store.FuncSummary(funcOf(t, pkgs["top"], "Use")).Kind(heap.KindAlloc)
+	if len(sites) != 1 {
+		t.Fatalf("Use has %d alloc sites, want leaf's via two hops: %v", len(sites), sites)
+	}
+	s := sites[0]
+	if len(s.Via) != 2 || s.Via[0] != "mid.Fresh" || s.Via[1] != "leaf.Alloc" {
+		t.Errorf("via chain = %v, want [mid.Fresh leaf.Alloc]", s.Via)
+	}
+	if !strings.HasSuffix(filepath.ToSlash(s.Pos.Filename), "internal/leaf/leaf.go") {
+		t.Errorf("site reported at %s, want leaf's source line", s.Pos)
+	}
+}
+
+func TestDedupAcrossRepeatedCalls(t *testing.T) {
+	pkgs, store := loadFixture(t)
+	sites := store.FuncSummary(funcOf(t, pkgs["mid"], "Pair")).Kind(heap.KindAlloc)
+	if len(sites) != 1 {
+		t.Errorf("Pair has %d alloc sites, want the one deduped leaf site: %v", len(sites), sites)
+	}
+}
+
+func TestBodylessFunctionUnknown(t *testing.T) {
+	pkgs, store := loadFixture(t)
+	iface, ok := pkgs["leaf"].Types.Scope().Lookup("Iface").Type().Underlying().(*types.Interface)
+	if !ok {
+		t.Fatal("leaf.Iface not an interface")
+	}
+	sum := store.FuncSummary(iface.Method(0))
+	if sum.Known() {
+		t.Error("interface method got a Known summary")
+	}
+	if got := sum.Kind(heap.KindAlloc); len(got) != 0 {
+		t.Errorf("zero summary carries sites: %v", got)
+	}
+}

@@ -1,0 +1,790 @@
+// Allocation-, boxing- and blocking-site enumeration over one function
+// body, with the local escape classification that decides whether a
+// refinable candidate (address-taken literal, new, constant-length
+// make) actually reaches the heap. See the package comment for the
+// verdict lattice.
+
+package heap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/flow"
+)
+
+// scanner accumulates the sites of one function body.
+type scanner struct {
+	store *Store
+	pkg   *flow.Pkg
+	sites []Site
+
+	body    *ast.BlockStmt
+	results []types.Type // declared result types, for return boxing
+	uses    map[types.Object][]useInfo
+	// consumed marks composite literals already judged as part of an
+	// enclosing &lit / outer literal candidate.
+	consumed map[*ast.CompositeLit]bool
+}
+
+// useInfo records one identifier use with enough ancestry to classify
+// it (parent and grandparent nodes, and whether it sits inside a
+// nested function literal relative to the scanned body).
+type useInfo struct {
+	id            *ast.Ident
+	parent, grand ast.Node
+	inFuncLit     bool
+}
+
+// scan drives the enumeration for one declaration.
+func (sc *scanner) scan(decl *ast.FuncDecl) {
+	sc.body = decl.Body
+	sc.consumed = map[*ast.CompositeLit]bool{}
+	if decl.Type.Results != nil {
+		for _, f := range decl.Type.Results.List {
+			t := sc.pkg.Info.TypeOf(f.Type)
+			n := len(f.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				sc.results = append(sc.results, t)
+			}
+		}
+	}
+	sc.collectUses()
+	sc.walk(sc.body, nil)
+}
+
+// pos resolves a node position.
+func (sc *scanner) pos(n ast.Node) token.Position { return sc.pkg.Fset.Position(n.Pos()) }
+
+// walk visits n with the ancestor stack (outermost first), classifying
+// sites as it goes. Function-literal bodies and panic arguments are not
+// descended into (closure creation and the panicking statement are the
+// sites; their interiors run off this function's steady-state path).
+func (sc *scanner) walk(n ast.Node, stack []ast.Node) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		descend := sc.visit(m, stack)
+		if !descend {
+			return false
+		}
+		stack = append(stack, m)
+		return true
+	})
+}
+
+// visit classifies one node; it returns false to prune the subtree.
+func (sc *scanner) visit(n ast.Node, stack []ast.Node) bool {
+	info := sc.pkg.Info
+	switch n := n.(type) {
+	case *ast.FuncLit:
+		if sc.capturesOuter(n) {
+			sc.add(Site{Pos: sc.pos(n), Kind: KindAlloc, What: "function literal captures variables (closure allocation)"})
+		}
+		return false
+
+	case *ast.GoStmt:
+		sc.add(Site{Pos: sc.pos(n), Kind: KindAlloc, What: "go statement launches a goroutine"})
+		return false
+
+	case *ast.SendStmt:
+		// A send that is a select comm op is guarded by the select
+		// (flagged there only when it has no default).
+		if !inSelectComm(stack, n) {
+			sc.add(Site{Pos: sc.pos(n), Kind: KindBlock, What: "a channel send"})
+		}
+		return true
+
+	case *ast.UnaryExpr:
+		if n.Op == token.ARROW {
+			if !inSelectComm(stack, n) {
+				sc.add(Site{Pos: sc.pos(n), Kind: KindBlock, What: "a channel receive"})
+			}
+			return true
+		}
+		if n.Op == token.AND {
+			if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+				sc.consumed[lit] = true
+				sc.classifyCandidate(n, stack, "address-taken composite literal")
+				// Still descend: element expressions may allocate.
+			}
+		}
+		return true
+
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, cs := range n.Body.List {
+			if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			sc.add(Site{Pos: sc.pos(n), Kind: KindBlock, What: "a select with no default"})
+		}
+		return true
+
+	case *ast.RangeStmt:
+		if t := info.TypeOf(n.X); t != nil {
+			if _, ok := t.Underlying().(*types.Chan); ok {
+				sc.add(Site{Pos: sc.pos(n), Kind: KindBlock, What: "ranging over a channel"})
+			}
+		}
+		return true
+
+	case *ast.CompositeLit:
+		if sc.consumed[n] {
+			return true
+		}
+		if t := info.TypeOf(n); t != nil {
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				sc.classifyCandidate(n, stack, "slice literal")
+			case *types.Map:
+				sc.classifyCandidate(n, stack, "map literal")
+			}
+		}
+		return true
+
+	case *ast.BinaryExpr:
+		if n.Op == token.ADD && sc.isNonConstString(n) {
+			sc.add(Site{Pos: sc.pos(n), Kind: KindAlloc, What: "string concatenation"})
+		}
+		return true
+
+	case *ast.AssignStmt:
+		if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && sc.isNonConstString(n.Lhs[0]) {
+			sc.add(Site{Pos: sc.pos(n), Kind: KindAlloc, What: "string concatenation (+=)"})
+		}
+		if n.Tok == token.ASSIGN {
+			sc.boxingInAssign(n)
+		}
+		return true
+
+	case *ast.ReturnStmt:
+		for i, res := range n.Results {
+			if i < len(sc.results) && isInterface(sc.results[i]) {
+				sc.boxingAt(res, sc.results[i], "returned as")
+			}
+		}
+		return true
+
+	case *ast.SelectorExpr:
+		sc.methodValue(n, stack)
+		return true
+
+	case *ast.CallExpr:
+		return sc.visitCall(n, stack)
+	}
+	return true
+}
+
+// visitCall handles every call shape: builtins, conversions, known
+// stdlib allocators/blockers, module callees (summary merge) and
+// interface boxing at the arguments.
+func (sc *scanner) visitCall(call *ast.CallExpr, stack []ast.Node) bool {
+	info := sc.pkg.Info
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "panic":
+				// A panicking run is off the steady-state path; its
+				// argument (fmt.Sprintf and friends) is cold by fiat.
+				return false
+			case "new":
+				sc.classifyCandidate(call, stack, "new("+sc.typeArgName(call)+")")
+			case "make":
+				sc.classifyMake(call, stack)
+			case "append":
+				sc.add(Site{Pos: sc.pos(call), Kind: KindAlloc, What: "append may grow its backing array"})
+			case "print", "println":
+				sc.add(Site{Pos: sc.pos(call), Kind: KindBlock, What: "built-in print (stderr I/O)"})
+			}
+			return true
+		}
+	}
+
+	// Type conversions.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		dst := tv.Type
+		arg := call.Args[0]
+		if isInterface(dst) {
+			sc.boxingAt(arg, dst, "converted to")
+			return true
+		}
+		if convAllocates(dst, info.TypeOf(arg)) {
+			sc.add(Site{Pos: sc.pos(call), Kind: KindAlloc, What: "string/byte-slice conversion copies"})
+		}
+		return true
+	}
+
+	callee := flow.CalleeOf(info, call)
+	if callee != nil && callee.Pkg() != nil {
+		path := callee.Pkg().Path()
+		name := callee.Name()
+		switch {
+		case sc.store.Resolve != nil && sc.store.Resolve(path) != nil:
+			sc.mergeCall(call, callee)
+		case stdAllocators[path][name]:
+			sc.add(Site{Pos: sc.pos(call), Kind: KindAlloc, What: path + "." + name + " allocates its result"})
+		default:
+			if what := blockingCall(callee); what != "" {
+				sc.add(Site{Pos: sc.pos(call), Kind: KindBlock, What: what})
+			}
+		}
+	}
+
+	// Interface boxing at the arguments (fmt-style varargs included).
+	if sig := callSignature(info, call); sig != nil {
+		sc.boxingInArgs(call, sig)
+	}
+	return true
+}
+
+// classifyMake decides a make call: maps and channels always allocate,
+// slices with a non-constant length allocate, constant-length slices
+// are refinable candidates.
+func (sc *scanner) classifyMake(call *ast.CallExpr, stack []ast.Node) {
+	if len(call.Args) == 0 {
+		return
+	}
+	t := sc.pkg.Info.TypeOf(call.Args[0])
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Map:
+		sc.add(Site{Pos: sc.pos(call), Kind: KindAlloc, What: "make(map) allocates"})
+		return
+	case *types.Chan:
+		sc.add(Site{Pos: sc.pos(call), Kind: KindAlloc, What: "make(chan) allocates"})
+		return
+	}
+	for _, sz := range call.Args[1:] {
+		if tv, ok := sc.pkg.Info.Types[sz]; !ok || tv.Value == nil {
+			sc.add(Site{Pos: sc.pos(call), Kind: KindAlloc, What: "make with non-constant length allocates"})
+			return
+		}
+	}
+	sc.classifyCandidate(call, stack, "constant-length make")
+}
+
+// classifyCandidate records a refinable candidate as a site when its
+// value escapes the function.
+func (sc *scanner) classifyCandidate(e ast.Expr, stack []ast.Node, what string) {
+	esc, how, defer2outer := sc.escapes(e, stack)
+	if defer2outer || !esc {
+		return
+	}
+	sc.add(Site{Pos: sc.pos(e), Kind: KindAlloc, What: what + " escapes to the heap (" + how + ")"})
+}
+
+// escapes walks the ancestor chain of a candidate to its first decisive
+// consumer. deferToOuter reports that an enclosing literal candidate
+// will carry the verdict instead.
+func (sc *scanner) escapes(e ast.Expr, stack []ast.Node) (esc bool, how string, deferToOuter bool) {
+	child := ast.Node(e)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr, *ast.KeyValueExpr:
+			child = p
+			continue
+		case *ast.UnaryExpr:
+			if p.Op == token.AND {
+				child = p
+				continue
+			}
+			return false, "", false
+		case *ast.CompositeLit:
+			// Nested inside another literal: a slice/map/&-lit parent is
+			// its own candidate and decides for both; a plain struct
+			// value literal just carries the pointer further up.
+			if sc.litIsCandidate(p, stack[:i]) {
+				return false, "", true
+			}
+			child = p
+			continue
+		case *ast.AssignStmt:
+			return sc.escapesViaAssign(p, child)
+		case *ast.ValueSpec:
+			for j, v := range p.Values {
+				if v == child && j < len(p.Names) {
+					return sc.trackLocal(p.Names[j])
+				}
+			}
+			return true, "unmatched declaration", false
+		case *ast.ReturnStmt:
+			return true, "returned", false
+		case *ast.CallExpr:
+			if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := sc.pkg.Info.Uses[fid].(*types.Builtin); isBuiltin {
+					switch fid.Name {
+					case "len", "cap", "delete", "clear", "copy":
+						return false, "", false
+					}
+				}
+			}
+			return true, "passed to a call", false
+		case *ast.SendStmt:
+			return true, "sent on a channel", false
+		case *ast.ExprStmt, *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt,
+			*ast.CaseClause, *ast.BinaryExpr, *ast.IncDecStmt:
+			return false, "", false
+		case *ast.RangeStmt:
+			if p.X == child {
+				return false, "", false
+			}
+			return true, "used in a range position", false
+		case *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr:
+			// Read-and-discard through the fresh value; keep walking.
+			child = p.(ast.Expr)
+			continue
+		default:
+			return true, "used in an unanalyzed position", false
+		}
+	}
+	return true, "used in an unanalyzed position", false
+}
+
+// litIsCandidate reports whether a composite literal is itself a
+// refinable candidate (slice/map underlying, or wrapped in &).
+func (sc *scanner) litIsCandidate(lit *ast.CompositeLit, outer []ast.Node) bool {
+	if t := sc.pkg.Info.TypeOf(lit); t != nil {
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+			return true
+		}
+	}
+	if len(outer) > 0 {
+		if u, ok := outer[len(outer)-1].(*ast.UnaryExpr); ok && u.Op == token.AND {
+			return true
+		}
+	}
+	return false
+}
+
+// escapesViaAssign classifies a candidate consumed by an assignment.
+func (sc *scanner) escapesViaAssign(as *ast.AssignStmt, child ast.Node) (bool, string, bool) {
+	idx := -1
+	for i, r := range as.Rhs {
+		if r == child {
+			idx = i
+		}
+	}
+	if idx < 0 || len(as.Lhs) != len(as.Rhs) {
+		return true, "assigned through a tuple", false
+	}
+	switch lhs := ast.Unparen(as.Lhs[idx]).(type) {
+	case *ast.Ident:
+		if lhs.Name == "_" {
+			return false, "", false
+		}
+		obj := sc.pkg.Info.ObjectOf(lhs)
+		if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+			return true, "stored to a package-level variable", false
+		}
+		return sc.trackLocal(lhs)
+	default:
+		// Selector, index, star: stored into another object.
+		return true, "stored into another object", false
+	}
+}
+
+// trackLocal decides escape for a candidate bound to a plain local by
+// scanning every later use of the variable.
+func (sc *scanner) trackLocal(id *ast.Ident) (bool, string, bool) {
+	obj := sc.pkg.Info.ObjectOf(id)
+	if obj == nil {
+		return true, "untyped binding", false
+	}
+	for _, u := range sc.uses[obj] {
+		if u.id == id {
+			continue // the binding itself
+		}
+		if u.inFuncLit {
+			return true, "captured by a closure", false
+		}
+		if esc, how := localUseEscapes(sc.pkg.Info, u); esc {
+			return true, how, false
+		}
+	}
+	return false, "", false
+}
+
+// localUseEscapes classifies one use of a tracked local.
+func localUseEscapes(info *types.Info, u useInfo) (bool, string) {
+	switch p := u.parent.(type) {
+	case *ast.SelectorExpr:
+		// x.f field access is local; x.m() hands the receiver away.
+		if call, ok := u.grand.(*ast.CallExpr); ok && call.Fun == p {
+			if fn, ok := info.Uses[p.Sel].(*types.Func); ok && fn.Type().(*types.Signature).Recv() != nil {
+				return true, "receiver of a method call"
+			}
+		}
+		return false, ""
+	case *ast.IndexExpr, *ast.SliceExpr, *ast.StarExpr, *ast.BinaryExpr,
+		*ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.CaseClause,
+		*ast.IncDecStmt, *ast.ExprStmt, *ast.RangeStmt, *ast.BlockStmt:
+		return false, ""
+	case *ast.CallExpr:
+		if fid, ok := ast.Unparen(p.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := info.Uses[fid].(*types.Builtin); isBuiltin {
+				switch fid.Name {
+				case "len", "cap", "delete", "clear", "copy":
+					return false, ""
+				case "append":
+					// x = append(x, ...) keeps x local; appending x into
+					// another slice aliases it.
+					if as, ok := u.grand.(*ast.AssignStmt); ok && len(as.Lhs) == 1 && len(p.Args) > 0 && p.Args[0] == u.id {
+						if lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident); ok && info.ObjectOf(lhs) == info.ObjectOf(u.id) {
+							return false, ""
+						}
+					}
+					return true, "aliased by append"
+				}
+			}
+		}
+		return true, "passed to a call"
+	case *ast.ReturnStmt:
+		return true, "returned"
+	case *ast.UnaryExpr:
+		if p.Op == token.AND {
+			return true, "address taken"
+		}
+		return false, ""
+	case *ast.SendStmt:
+		return true, "sent on a channel"
+	case *ast.AssignStmt:
+		for _, l := range p.Lhs {
+			if l == u.id {
+				return false, "" // reassignment kills, does not leak
+			}
+		}
+		// `_ = x` keep-alive discards the value.
+		allBlank := true
+		for _, l := range p.Lhs {
+			if id, ok := l.(*ast.Ident); !ok || id.Name != "_" {
+				allBlank = false
+			}
+		}
+		if allBlank {
+			return false, ""
+		}
+		return true, "aliased or stored elsewhere"
+	case *ast.KeyValueExpr, *ast.CompositeLit:
+		return true, "stored into a composite literal"
+	default:
+		return true, "used in an unanalyzed position"
+	}
+}
+
+// inSelectComm reports whether n sits inside the comm operation of its
+// nearest enclosing select case: those channel ops are guarded by the
+// select itself.
+func inSelectComm(stack []ast.Node, n ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if cc, ok := stack[i].(*ast.CommClause); ok {
+			return cc.Comm != nil && cc.Comm.Pos() <= n.Pos() && n.End() <= cc.Comm.End()
+		}
+	}
+	return false
+}
+
+// collectUses indexes every identifier use in the body by object, with
+// parent/grandparent ancestry and closure nesting.
+func (sc *scanner) collectUses() {
+	sc.uses = map[types.Object][]useInfo{}
+	var stack []ast.Node
+	funcLitDepth := 0
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		if n == nil {
+			if _, ok := stack[len(stack)-1].(*ast.FuncLit); ok {
+				funcLitDepth--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			obj := sc.pkg.Info.ObjectOf(id)
+			if obj != nil {
+				var parent, grand ast.Node
+				if len(stack) > 0 {
+					parent = stack[len(stack)-1]
+				}
+				if len(stack) > 1 {
+					grand = stack[len(stack)-2]
+				}
+				if pe, ok := parent.(*ast.ParenExpr); ok && pe != nil {
+					parent = grand
+					if len(stack) > 2 {
+						grand = stack[len(stack)-3]
+					}
+				}
+				sc.uses[obj] = append(sc.uses[obj], useInfo{id: id, parent: parent, grand: grand, inFuncLit: funcLitDepth > 0})
+			}
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			funcLitDepth++
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// capturesOuter reports whether a function literal references variables
+// declared outside it.
+func (sc *scanner) capturesOuter(fl *ast.FuncLit) bool {
+	captured := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if captured {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := sc.pkg.Info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return true // globals and non-vars are not captures
+		}
+		if v.Pos() < fl.Pos() || v.Pos() > fl.End() {
+			captured = true
+		}
+		return true
+	})
+	return captured
+}
+
+// methodValue flags x.M used as a value (not called): binding the
+// receiver allocates a closure.
+func (sc *scanner) methodValue(sel *ast.SelectorExpr, stack []ast.Node) {
+	fn, ok := sc.pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Type().(*types.Signature).Recv() == nil {
+		return
+	}
+	if s, ok := sc.pkg.Info.Selections[sel]; !ok || s.Kind() != types.MethodVal {
+		return
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if p, ok := stack[i].(*ast.ParenExpr); ok {
+			_ = p
+			continue
+		}
+		if call, ok := stack[i].(*ast.CallExpr); ok && ast.Unparen(call.Fun) == sel {
+			return // ordinary method call
+		}
+		break
+	}
+	sc.add(Site{Pos: sc.pos(sel), Kind: KindBox, What: "method value binds its receiver (closure allocation)"})
+}
+
+// boxingInAssign flags concrete values assigned into interface-typed
+// destinations.
+func (sc *scanner) boxingInAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && id.Name == "_" {
+			continue
+		}
+		if t := sc.pkg.Info.TypeOf(lhs); t != nil && isInterface(t) {
+			sc.boxingAt(as.Rhs[i], t, "assigned to")
+		}
+	}
+}
+
+// boxingInArgs flags concrete values passed where the callee expects an
+// interface, including variadic ...interface tails.
+func (sc *scanner) boxingInArgs(call *ast.CallExpr, sig *types.Signature) {
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				return // s... passes the slice through, no boxing
+			}
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil && isInterface(pt) {
+			sc.boxingAt(arg, pt, "passed as")
+		}
+	}
+}
+
+// boxingAt records a boxing site when storing e into an interface of
+// type dst allocates: concrete, non-pointer-shaped, non-constant values
+// only (pointers share their word; constants get static boxes).
+func (sc *scanner) boxingAt(e ast.Expr, dst types.Type, how string) {
+	tv, ok := sc.pkg.Info.Types[e]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return
+	}
+	t := tv.Type
+	if isInterface(t) || pointerShaped(t) || isUntypedNil(t) {
+		return
+	}
+	sc.add(Site{
+		Pos:  sc.pos(e),
+		Kind: KindBox,
+		What: "boxing " + shortType(t) + " " + how + " " + shortType(dst),
+	})
+}
+
+// isNonConstString reports whether e has string type and is not a
+// compile-time constant.
+func (sc *scanner) isNonConstString(e ast.Expr) bool {
+	tv, ok := sc.pkg.Info.Types[e]
+	if !ok || tv.Value != nil || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// typeArgName renders new(T)'s argument compactly.
+func (sc *scanner) typeArgName(call *ast.CallExpr) string {
+	if len(call.Args) != 1 {
+		return "?"
+	}
+	if t := sc.pkg.Info.TypeOf(call.Args[0]); t != nil {
+		return shortType(t)
+	}
+	return "?"
+}
+
+// callSignature resolves the signature of a non-conversion call.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.IsType() || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// convAllocates reports whether a conversion between strings and
+// byte/rune slices copies its operand.
+func convAllocates(dst, src types.Type) bool {
+	if dst == nil || src == nil {
+		return false
+	}
+	return (isString(dst) && isByteOrRuneSlice(src)) ||
+		(isByteOrRuneSlice(dst) && isString(src))
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isInterface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports types whose interface representation shares the
+// value word without allocating.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+// shortType renders a type with bare package names.
+func shortType(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// stdAllocators are stdlib functions that allocate their result even
+// when every argument is constant; the fmt print family is covered by
+// variadic boxing plus blockingCall instead.
+var stdAllocators = map[string]map[string]bool{
+	"errors": {"New": true, "Join": true},
+	"fmt": {"Sprintf": true, "Sprint": true, "Sprintln": true,
+		"Errorf": true, "Appendf": true},
+	"strings": {"Join": true, "Repeat": true, "Replace": true,
+		"ReplaceAll": true, "Split": true, "SplitN": true, "Fields": true,
+		"ToUpper": true, "ToLower": true, "Clone": true, "Map": true},
+	"bytes": {"Join": true, "Repeat": true, "Split": true, "Fields": true,
+		"ToUpper": true, "ToLower": true, "Clone": true},
+	"strconv": {"Itoa": true, "FormatInt": true, "FormatUint": true,
+		"FormatFloat": true, "Quote": true, "QuoteRune": true},
+	"time": {"NewTimer": true, "NewTicker": true, "After": true, "Tick": true},
+}
+
+// blockingIOPkgs are packages whose calls are treated as syscall-backed
+// I/O wholesale: none of them belongs on a per-cycle path.
+var blockingIOPkgs = map[string]bool{
+	"os": true, "io": true, "bufio": true, "net": true,
+	"net/http": true, "log": true, "syscall": true, "io/fs": true,
+}
+
+// blockingCall classifies a stdlib callee as a blocking operation,
+// returning the description or "".
+func blockingCall(fn *types.Func) string {
+	path := fn.Pkg().Path()
+	name := fn.Name()
+	if blockingIOPkgs[path] {
+		return path + "." + name + " (syscall-backed I/O)"
+	}
+	switch path {
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	case "fmt":
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") ||
+			strings.HasPrefix(name, "Scan") || strings.HasPrefix(name, "Fscan") {
+			return "fmt." + name + " (stream I/O)"
+		}
+	case "sync":
+		recv := ""
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			recv = shortType(sig.Recv().Type()) + "."
+		}
+		switch name {
+		case "Lock", "RLock":
+			return "lock acquisition (sync." + strings.TrimPrefix(recv, "*sync.") + name + ")"
+		case "Wait", "Do":
+			return "sync." + strings.TrimPrefix(recv, "*sync.") + name
+		}
+	}
+	return ""
+}

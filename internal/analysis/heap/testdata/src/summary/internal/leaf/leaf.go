@@ -1,0 +1,33 @@
+// Package leaf is the bottom of the fixture DAG: it owns one site of
+// each kind, plus an allow-sanctioned one.
+package leaf
+
+import "sync"
+
+// Node is the allocated payload.
+type Node struct{ V int }
+
+// Alloc returns a fresh node; the literal escapes via the return.
+func Alloc() *Node {
+	return &Node{V: 1}
+}
+
+// Grow appends into a caller-recycled buffer; the site is sanctioned.
+func Grow(buf []int) []int {
+	return append(buf, 1) //mcrlint:allow hotalloc caller recycles the buffer
+}
+
+// Box returns its argument through an interface result.
+func Box(v int) any {
+	return v
+}
+
+// Wait blocks on the mutex.
+func Wait(mu *sync.Mutex) {
+	mu.Lock()
+}
+
+// Iface exists so the test can ask for a bodyless method's summary.
+type Iface interface {
+	Touch()
+}

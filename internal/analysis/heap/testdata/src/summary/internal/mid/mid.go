@@ -1,0 +1,14 @@
+// Package mid relays leaf's sites one hop up the import DAG.
+package mid
+
+import "repro/internal/leaf"
+
+// Fresh relays leaf's allocation one hop.
+func Fresh() *leaf.Node {
+	return leaf.Alloc()
+}
+
+// Pair reaches the same allocation twice; summaries dedup by site.
+func Pair() (*leaf.Node, *leaf.Node) {
+	return leaf.Alloc(), leaf.Alloc()
+}

@@ -1,0 +1,9 @@
+// Package top sits two hops above the allocation it reaches.
+package top
+
+import "repro/internal/mid"
+
+// Use reaches leaf's allocation through mid.
+func Use() int {
+	return mid.Fresh().V
+}

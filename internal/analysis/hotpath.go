@@ -1,0 +1,125 @@
+// Checks hotalloc, hotbox, hotlock: the hot-path hygiene trio built on
+// the interprocedural heap/escape layer (internal/analysis/heap). A
+// function opts into the guarantee with a
+//
+//	//mcrlint:hotpath [justification]
+//
+// directive in its doc comment; the checks then walk its heap summary —
+// every allocation, interface-boxing and blocking site reachable from
+// it through module calls, bottom-up over the import DAG — and report
+// each offending site at the site itself (possibly in a callee package)
+// with the call chain from the root, detflow-style.
+//
+// Interface dispatch is a reachability cut: a summary cannot see
+// through a dynamic call, so concrete implementations on dispatch seams
+// (mech.Mechanism backends, obs recorders) must carry their own
+// //mcrlint:hotpath marks. That is the root-marking contract (DESIGN
+// row 24). Suppression happens at the site's source line with
+// //mcrlint:allow <check>, even when the site lives packages away from
+// the root.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/flow"
+	"repro/internal/analysis/heap"
+)
+
+// hotpathPrefix marks a function as a hot-path root in its doc comment.
+const hotpathPrefix = "mcrlint:hotpath"
+
+// HotAlloc flags heap allocations reachable from hot-path roots.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no heap allocation (escaping literal, make, append growth, closure) reachable from a //mcrlint:hotpath root",
+	Run:  func(p *Pass) { runHot(p, heap.KindAlloc) },
+}
+
+// HotBox flags value-to-interface boxing reachable from hot-path roots.
+var HotBox = &Analyzer{
+	Name: "hotbox",
+	Doc:  "no value-to-interface boxing (conversion, variadic any, method value) reachable from a //mcrlint:hotpath root",
+	Run:  func(p *Pass) { runHot(p, heap.KindBox) },
+}
+
+// HotLock flags blocking operations reachable from hot-path roots.
+var HotLock = &Analyzer{
+	Name: "hotlock",
+	Doc:  "no blocking operation (lock, channel, sleep, syscall-backed I/O) reachable from a //mcrlint:hotpath root",
+	Run:  func(p *Pass) { runHot(p, heap.KindBlock) },
+}
+
+// hotContract phrases the promise each kind enforces.
+func hotContract(k heap.Kind) string {
+	switch k {
+	case heap.KindBox:
+		return "hot-path dispatch must not box values into interfaces"
+	case heap.KindBlock:
+		return "the per-cycle hot path must never block"
+	}
+	return "the per-cycle hot path must stay allocation-free"
+}
+
+// runHot reports every site of one kind in the summary of every hot
+// root declared in the pass's package.
+func runHot(pass *Pass, kind heap.Kind) {
+	if pass.Heap == nil {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotRoot(fd) {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			sum := pass.Heap.FuncSummary(fn)
+			for _, site := range sum.Kind(kind) {
+				// Sites allow-suppressed at their source (possibly in a
+				// package far from the root) are demoted, not dropped: the
+				// driver still counts them as present for stale baselines.
+				report := pass.ReportPosf
+				if site.Allowed {
+					report = pass.ReportSuppressedPosf
+				}
+				report(site.Pos,
+					"%s, reachable from hot-path root %s%s; %s",
+					site.What, flow.FuncDisplayName(fn), hotVia(site.Via), hotContract(kind))
+			}
+		}
+	}
+}
+
+// isHotRoot reports whether the declaration's doc comment carries the
+// hotpath directive.
+func isHotRoot(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+		if strings.HasPrefix(strings.TrimSpace(text), hotpathPrefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// hotVia renders a site's call chain, e.g. " (via sim.step →
+// controller.Tick)", capped like detflow's via clause.
+func hotVia(via []string) string {
+	if len(via) == 0 {
+		return ""
+	}
+	if len(via) > 4 {
+		via = via[:4]
+	}
+	return " (via " + strings.Join(via, " → ") + ")"
+}

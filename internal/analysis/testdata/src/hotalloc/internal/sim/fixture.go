@@ -1,0 +1,54 @@
+package sim
+
+import "repro/internal/util"
+
+type scratch struct{ n int }
+
+type state struct {
+	pending []int
+	buf     [8]int
+}
+
+// Tick is the per-cycle loop: every allocation its summary reaches is
+// flagged at the allocation, with the call chain when it is transitive.
+//
+//mcrlint:hotpath per-cycle loop
+func Tick(s *state, rows []int) int {
+	seen := make(map[int]bool) // want `make\(map\) allocates, reachable from hot-path root sim\.Tick; the per-cycle hot path must stay allocation-free`
+	sum := 0
+	for _, r := range rows {
+		if !seen[r] {
+			seen[r] = true
+			sum++
+		}
+		s.pending = append(s.pending, r) // want `append may grow its backing array, reachable from hot-path root sim\.Tick; the per-cycle hot path must stay allocation-free`
+	}
+	// negative: a fixed-size array is a value, not an allocation.
+	var local [4]int
+	local[0] = sum
+	sum += local[0]
+	// negative: an address-taken struct whose uses stay local is
+	// stack-allocated.
+	t := &scratch{}
+	t.n = sum
+	sum += t.n
+	return sum + util.Grow(sum)
+}
+
+// TickAllowed carries a deliberate, justified warm-up allocation.
+//
+//mcrlint:hotpath warm path with a sanctioned cache build
+func TickAllowed(rows []int) int {
+	// negative: the allow suppresses the site at its source.
+	cache := make(map[int]bool) //mcrlint:allow hotalloc one-time warm-up cache
+	for _, r := range rows {
+		cache[r] = true
+	}
+	return len(cache)
+}
+
+// cold is not a hot root: its allocations are nobody's business.
+func cold() map[int]bool {
+	// negative: only //mcrlint:hotpath roots are checked.
+	return make(map[int]bool)
+}

@@ -1,0 +1,12 @@
+package util
+
+// Grow is the first hop from the hot root.
+func Grow(n int) int {
+	return len(grow(n))
+}
+
+// grow holds the 2-hop transitive allocation: sim.Tick → util.Grow →
+// util.grow. The diagnostic lands here, two packages from the root.
+func grow(n int) []int {
+	return make([]int, n) // want `make with non-constant length allocates, reachable from hot-path root sim\.Tick \(via util\.Grow → util\.grow\); the per-cycle hot path must stay allocation-free`
+}

@@ -1,0 +1,50 @@
+package obs
+
+type Stats struct{ hits int64 }
+
+type Recorder struct {
+	vals []any
+	last any
+}
+
+// put is the any-typed seam the hot roots dispatch through.
+func (r *Recorder) put(v any) {
+	r.vals = append(r.vals, v) //mcrlint:allow hotalloc bounded event buffer, irrelevant to the boxing fixture
+}
+
+// Flush exists to be taken as a method value.
+func (r *Recorder) Flush() {}
+
+// Observe drives concrete values into interface-typed destinations.
+//
+//mcrlint:hotpath counter path
+func Observe(r *Recorder, cycles int64, kind int) {
+	r.put(cycles) // want `boxing int64 passed as any, reachable from hot-path root obs\.Observe; hot-path dispatch must not box values into interfaces`
+	r.last = kind // want `boxing int assigned to any, reachable from hot-path root obs\.Observe; hot-path dispatch must not box values into interfaces`
+}
+
+// ObserveClean shows every boxing-free way through the same seam.
+//
+//mcrlint:hotpath counter path, clean variant
+func ObserveClean(r *Recorder, s *Stats, boxed any) {
+	// negative: pointers share their word with the interface, no box.
+	r.put(s)
+	// negative: constants are boxed statically by the compiler.
+	r.put(42)
+	// negative: an interface-to-interface pass creates no new box.
+	r.put(boxed)
+}
+
+// MakeHandler binds a receiver into a method value: one closure
+// allocation per call.
+//
+//mcrlint:hotpath dispatch setup
+func MakeHandler(r *Recorder) func() {
+	return r.Flush // want `method value binds its receiver \(closure allocation\), reachable from hot-path root obs\.MakeHandler; hot-path dispatch must not box values into interfaces`
+}
+
+// coldBox is not a root; its boxing is fine.
+func coldBox(r *Recorder, v int64) {
+	// negative: only //mcrlint:hotpath roots are checked.
+	r.put(v)
+}

@@ -1,0 +1,59 @@
+package controller
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type Controller struct {
+	mu    sync.Mutex
+	ch    chan int
+	hits  int64
+	ready bool
+}
+
+// Tick is the per-cycle scheduling entry point.
+//
+//mcrlint:hotpath controller scheduling
+func (c *Controller) Tick(now int64) {
+	c.mu.Lock() // want `lock acquisition \(sync\.Mutex\.Lock\), reachable from hot-path root controller\.\(\*Controller\)\.Tick; the per-cycle hot path must never block`
+	c.ready = true
+	c.mu.Unlock()
+	c.ch <- int(now) // want `a channel send, reachable from hot-path root controller\.\(\*Controller\)\.Tick; the per-cycle hot path must never block`
+	c.pause()
+}
+
+// pause hides the sleep one hop down: the via-trace names it.
+func (c *Controller) pause() {
+	time.Sleep(time.Microsecond) // want `time\.Sleep, reachable from hot-path root controller\.\(\*Controller\)\.Tick \(via controller\.\(\*Controller\)\.pause\); the per-cycle hot path must never block`
+}
+
+// TickClean is the non-blocking shape of the same loop.
+//
+//mcrlint:hotpath controller scheduling, clean variant
+func (c *Controller) TickClean(now int64) {
+	// negative: atomics are lock-free, not lock-shaped.
+	atomic.AddInt64(&c.hits, 1)
+	// negative: a select with a default never parks the goroutine.
+	select {
+	case v := <-c.ch:
+		c.hits += int64(v)
+	default:
+	}
+}
+
+// TickAllowed documents a sanctioned block on the drain path.
+//
+//mcrlint:hotpath drain handshake
+func (c *Controller) TickAllowed() {
+	// negative: the allow suppresses the site at its source.
+	c.mu.Lock() //mcrlint:allow hotlock drain handshake runs once per mode change, off the steady-state path
+	c.mu.Unlock()
+}
+
+// coldDrain is not a root; blocking here is fine.
+func (c *Controller) coldDrain() int {
+	// negative: only //mcrlint:hotpath roots are checked.
+	return <-c.ch
+}

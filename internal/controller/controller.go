@@ -173,6 +173,12 @@ type Controller struct {
 	stats       Stats
 	tREFI       int64
 
+	// touched is schedulePass's per-pass bank-dedup scratch: one
+	// generation stamp per bank, bumped each pass, so the per-cycle
+	// scheduler never allocates a map.
+	touched    []int64
+	touchedGen int64
+
 	// pendingMode, when non-nil, is a requested MRS mode switch the
 	// controller is draining toward (see modechange.go).
 	pendingMode *mcr.Mode
@@ -207,6 +213,7 @@ func New(cfg Config, dev *dram.Device, rows *alloc.RowMap) (*Controller, error) 
 		writeQ:  make([][]request, geom.Channels),
 		drain:   make([]bool, geom.Channels),
 		refresh: make([]rankRefresh, geom.Channels*geom.Ranks),
+		touched: make([]int64, geom.Channels*geom.Ranks*geom.Banks),
 		tREFI:   int64(dev.Timings().Normal.TREFI),
 	}
 	for i := range c.refresh {
@@ -248,6 +255,8 @@ func (c *Controller) CanEnqueueWrite(line int64) bool {
 
 // EnqueueRead queues a read and returns its completion id; ok is false when
 // the queue is full.
+//
+//mcrlint:hotpath dram request admission (per CPU-issued read)
 func (c *Controller) EnqueueRead(line int64, coreID int, now int64) (int64, bool) {
 	a := c.decode(line)
 	if len(c.readQ[a.Channel]) >= c.cfg.ReadQueueCap {
@@ -259,7 +268,7 @@ func (c *Controller) EnqueueRead(line int64, coreID int, now int64) (int64, bool
 		if w.addr == a {
 			id := c.nextID
 			c.nextID++
-			c.completions = append(c.completions, Completion{ID: id, CoreID: coreID, DoneAt: now + 1, ArriveAt: now})
+			c.completions = append(c.completions, Completion{ID: id, CoreID: coreID, DoneAt: now + 1, ArriveAt: now}) //mcrlint:allow hotalloc DrainCompletions recycles this slice's capacity; steady state appends in place
 			c.stats.ReadsQueued++
 			c.stats.ReadsDone++
 			c.stats.TotalReadLatency++
@@ -271,19 +280,21 @@ func (c *Controller) EnqueueRead(line int64, coreID int, now int64) (int64, bool
 	}
 	id := c.nextID
 	c.nextID++
-	c.readQ[a.Channel] = append(c.readQ[a.Channel], request{id: id, kind: core.OpRead, addr: a, coreID: coreID, arriveAt: now, preAt: -1, actAt: -1})
+	c.readQ[a.Channel] = append(c.readQ[a.Channel], request{id: id, kind: core.OpRead, addr: a, coreID: coreID, arriveAt: now, preAt: -1, actAt: -1}) //mcrlint:allow hotalloc bounded by ReadQueueCap; capacity stops growing after the first full queue
 	c.stats.ReadsQueued++
 	return id, true
 }
 
 // EnqueueWrite queues a write; false when the queue is full. Writes
 // complete (from the CPU's view) at enqueue.
+//
+//mcrlint:hotpath dram request admission (per CPU-issued write)
 func (c *Controller) EnqueueWrite(line int64, coreID int, now int64) bool {
 	a := c.decode(line)
 	if len(c.writeQ[a.Channel]) >= c.cfg.WriteQueueCap {
 		return false
 	}
-	c.writeQ[a.Channel] = append(c.writeQ[a.Channel], request{id: -1, kind: core.OpWrite, addr: a, coreID: coreID, arriveAt: now, preAt: -1, actAt: -1})
+	c.writeQ[a.Channel] = append(c.writeQ[a.Channel], request{id: -1, kind: core.OpWrite, addr: a, coreID: coreID, arriveAt: now, preAt: -1, actAt: -1}) //mcrlint:allow hotalloc bounded by WriteQueueCap; capacity stops growing after the first full queue
 	c.stats.WritesQueued++
 	return true
 }
@@ -297,9 +308,12 @@ func (c *Controller) Pending() (reads, writes int) {
 	return
 }
 
-// DrainCompletions returns and clears the finished-read notifications.
+// DrainCompletions returns the finished-read notifications and resets the
+// internal list, keeping its capacity so the steady-state cycle loop never
+// reallocates it. The returned slice aliases that storage: it is valid
+// until the next Tick or Enqueue call.
 func (c *Controller) DrainCompletions() []Completion {
 	out := c.completions
-	c.completions = nil
+	c.completions = c.completions[:0]
 	return out
 }

@@ -11,6 +11,8 @@ import (
 // Tick runs one memory cycle: it updates refresh obligations and issues at
 // most one DRAM command per channel. Completed reads become Completions
 // (fetch them with DrainCompletions).
+//
+//mcrlint:hotpath controller scheduling (per memory cycle)
 func (c *Controller) Tick(now int64) {
 	if c.pendingMode != nil {
 		// A mode switch is draining: no new work until the MRS issues.
@@ -190,15 +192,17 @@ func (c *Controller) schedulePass(ch int, q []request, now int64) bool {
 	}
 	// Then FCFS: walk requests oldest-first and issue the first legal
 	// preparation command (PRE for a conflict, ACT for a closed bank),
-	// skipping banks already claimed by an earlier request this pass.
-	touched := make(map[int]bool, 8)
+	// skipping banks already claimed by an earlier request this pass. The
+	// dedup scratch is a preallocated generation-stamped array — this pass
+	// runs every cycle, so it must not allocate.
+	c.touchedGen++
 	for i := range q {
 		req := &q[i]
 		bid := req.addr.BankID(c.geom)
-		if touched[bid] {
+		if c.touched[bid] == c.touchedGen {
 			continue
 		}
-		touched[bid] = true
+		c.touched[bid] = c.touchedGen
 		if c.prepareBank(ch, req, now) {
 			return true
 		}
@@ -229,7 +233,7 @@ func (c *Controller) tryColumn(ch int, req *request, now int64) bool {
 		// shifts later requests into its slot.
 		r := *req
 		c.removeRequest(&c.readQ[ch], r.id)
-		c.completions = append(c.completions, Completion{ID: r.id, CoreID: r.coreID, DoneAt: done, ArriveAt: r.arriveAt})
+		c.completions = append(c.completions, Completion{ID: r.id, CoreID: r.coreID, DoneAt: done, ArriveAt: r.arriveAt}) //mcrlint:allow hotalloc DrainCompletions recycles this slice's capacity; steady state appends in place
 		c.stats.ReadsDone++
 		c.stats.TotalReadLatency += done - r.arriveAt
 		c.obs.ObserveRead(obs.AttributeRead(r.arriveAt, r.preAt, r.actAt, now, done, r.rasBlocked, r.refBlocked))
@@ -340,7 +344,7 @@ func (c *Controller) scheduleHousekeeping(ch int, now int64) {
 func (c *Controller) removeRequest(q *[]request, id int64) {
 	for i := range *q {
 		if (*q)[i].id == id {
-			*q = append((*q)[:i], (*q)[i+1:]...)
+			*q = append((*q)[:i], (*q)[i+1:]...) //mcrlint:allow hotalloc in-place remove idiom: the result is strictly shorter, never reallocates
 			return
 		}
 	}
@@ -351,7 +355,7 @@ func (c *Controller) removeRequest(q *[]request, id int64) {
 func (c *Controller) removeWrite(q *[]request, req request) {
 	for i := range *q {
 		if (*q)[i].addr == req.addr && (*q)[i].arriveAt == req.arriveAt {
-			*q = append((*q)[:i], (*q)[i+1:]...)
+			*q = append((*q)[:i], (*q)[i+1:]...) //mcrlint:allow hotalloc in-place remove idiom: the result is strictly shorter, never reallocates
 			return
 		}
 	}

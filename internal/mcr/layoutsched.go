@@ -70,7 +70,7 @@ func (s *LayoutScheduler) Plan(c int) LayoutRefreshOp {
 		}
 	}
 	for i := 0; i < s.batch; i++ {
-		op.Rows = append(op.Rows, i<<s.counterBits|low)
+		op.Rows = append(op.Rows, i<<s.counterBits|low) //mcrlint:allow hotalloc one short row list per REF command, amortized over a full tREFI interval
 	}
 	return op
 }

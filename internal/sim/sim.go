@@ -5,7 +5,6 @@
 package sim
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"time"
@@ -299,38 +298,169 @@ func buildAllocation(cfg Config, dev *dram.Device) (*alloc.RowMap, error) {
 	return alloc.ProfileBased(geom, dev.Generator(), counts, cfg.AllocRatio)
 }
 
-// completionQueue orders controller completions by due cycle.
+// completionQueue is a typed min-heap of controller completions ordered
+// by due cycle. Hand-rolled rather than built on container/heap: the
+// heap.Interface Push/Pop seam traffics in any, which boxes one
+// Completion per enqueue and per dequeue on the per-cycle path.
 type completionQueue []controller.Completion
 
-func (q completionQueue) Len() int           { return len(q) }
-func (q completionQueue) Less(i, j int) bool { return q[i].DoneAt < q[j].DoneAt }
-func (q completionQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *completionQueue) Push(x any)        { *q = append(*q, x.(controller.Completion)) }
-func (q *completionQueue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+// push adds a completion and sifts it up to its heap position.
+func (q *completionQueue) push(c controller.Completion) {
+	*q = append(*q, c) //mcrlint:allow hotalloc capacity reaches the in-flight high-water mark and stays there
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].DoneAt <= h[i].DoneAt {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+// pop removes and returns the earliest-due completion, reusing the
+// backing array.
+func (q *completionQueue) pop() controller.Completion {
+	h := *q
+	n := len(h) - 1
+	top := h[0]
+	h[0] = h[n]
+	*q = h[:n]
+	h = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && h[r].DoneAt < h[l].DoneAt {
+			m = r
+		}
+		if h[i].DoneAt <= h[m].DoneAt {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return top
+}
+
+// loopState is the mutable state of the main cycle loop, split out of
+// runLoop so the steady-state body (step) can carry its own hot-path
+// mark while runLoop keeps the allocating prologue and epilogue.
+type loopState struct {
+	cfg   Config
+	geom  core.Geometry
+	dev   *dram.Device
+	ctrl  *controller.Controller
+	cores []*cpu.Core
+
+	idleStreak []int
+	pending    completionQueue
+	hist       *LatencyHistogram
+
+	activeCyc, standbyCyc, pdCyc int64
+	totalReadLatency             int64
+	reads                        int64
+	// Warmup handling: read stats start counting once every core retired
+	// its warmup budget; warmStart records the memory cycle that happened.
+	warmStart int64
+	warmed    bool
+	cpuCycle  int64
+}
+
+// step runs one memory cycle — completion delivery, 4 CPU cycles, one
+// controller tick, completion drain and rank-state power accounting —
+// and reports whether the run has fully drained.
+//
+//mcrlint:hotpath sim cycle loop, per-cycle body
+func (ls *loopState) step(mem int64) (done bool) {
+	// Deliver due read completions before the cores run.
+	for len(ls.pending) > 0 && ls.pending[0].DoneAt <= mem {
+		comp := ls.pending.pop()
+		ls.cores[comp.CoreID].Complete(comp.ID)
+	}
+	allDone := true
+	for _, c := range ls.cores {
+		if !c.Done() {
+			allDone = false
+		}
+	}
+	if allDone {
+		r, w := ls.ctrl.Pending()
+		if r == 0 && w == 0 && len(ls.pending) == 0 {
+			return true
+		}
+	}
+	for i := 0; i < core.CPUCyclesPerMemCycle; i++ {
+		for _, c := range ls.cores {
+			c.Cycle(ls.cpuCycle, mem)
+		}
+		ls.cpuCycle++
+	}
+	ls.ctrl.Tick(mem)
+	if !ls.warmed {
+		ls.warmed = true
+		for _, c := range ls.cores {
+			if c.Retired() < ls.cfg.WarmupInsts {
+				ls.warmed = false
+				break
+			}
+		}
+		if ls.warmed {
+			ls.warmStart = mem
+		}
+	}
+	for _, comp := range ls.ctrl.DrainCompletions() {
+		if ls.warmed && comp.ArriveAt >= ls.warmStart {
+			ls.reads++
+			ls.totalReadLatency += comp.DoneAt - comp.ArriveAt
+			ls.hist.Observe(comp.DoneAt - comp.ArriveAt)
+		}
+		if comp.DoneAt <= mem {
+			ls.cores[comp.CoreID].Complete(comp.ID)
+		} else {
+			ls.pending.push(comp)
+		}
+	}
+	// Background power accounting per rank.
+	for ch := 0; ch < ls.geom.Channels; ch++ {
+		for r := 0; r < ls.geom.Ranks; r++ {
+			idx := ch*ls.geom.Ranks + r
+			switch {
+			case ls.dev.RankBusy(ch, r, mem):
+				ls.idleStreak[idx] = 0
+				ls.activeCyc++
+			case ls.cfg.PowerDownCycles > 0 && ls.idleStreak[idx] >= ls.cfg.PowerDownCycles:
+				ls.pdCyc++
+			default:
+				ls.idleStreak[idx]++
+				ls.standbyCyc++
+			}
+		}
+	}
+	return false
 }
 
 // runLoop is the main cycle loop: 4 CPU cycles then 1 controller cycle per
-// memory cycle, with rank-state power accounting.
+// memory cycle, with rank-state power accounting. The per-cycle body lives
+// in loopState.step; runLoop keeps the amortized cancellation poll, the
+// runaway guard and the result-building epilogue, all of which may
+// allocate.
 func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []*cpu.Core, checker *integrity.DeviceAdapter, resil *resilienceState) (*Result, error) {
 	geom := dev.Config().Geom
-	nRanks := geom.Channels * geom.Ranks
-	idleStreak := make([]int, nRanks)
-	var activeCyc, standbyCyc, pdCyc int64
-	var pending completionQueue
-	var totalReadLatency int64
-	var reads int64
-	hist := NewLatencyHistogram()
-	// Warmup handling: read stats start counting once every core retired
-	// its warmup budget; warmStart records the memory cycle that happened.
-	warmStart := int64(0)
-	warmed := cfg.WarmupInsts <= 0
-
-	cpuCycle := int64(0)
+	ls := &loopState{
+		cfg:        cfg,
+		geom:       geom,
+		dev:        dev,
+		ctrl:       ctrl,
+		cores:      cores,
+		idleStreak: make([]int, geom.Channels*geom.Ranks),
+		hist:       NewLatencyHistogram(),
+		warmed:     cfg.WarmupInsts <= 0,
+	}
 	const safetyCap = int64(4) << 32 // runaway guard
 	var mem int64
 	for mem = 0; ; mem++ {
@@ -349,71 +479,12 @@ func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller
 				resil.poll(mem)
 			}
 		}
-		// Deliver due read completions before the cores run.
-		for len(pending) > 0 && pending[0].DoneAt <= mem {
-			comp := heap.Pop(&pending).(controller.Completion)
-			cores[comp.CoreID].Complete(comp.ID)
-		}
-		allDone := true
-		for _, c := range cores {
-			if !c.Done() {
-				allDone = false
-			}
-		}
-		if allDone {
-			r, w := ctrl.Pending()
-			if r == 0 && w == 0 && len(pending) == 0 {
-				break
-			}
-		}
-		for i := 0; i < core.CPUCyclesPerMemCycle; i++ {
-			for _, c := range cores {
-				c.Cycle(cpuCycle, mem)
-			}
-			cpuCycle++
-		}
-		ctrl.Tick(mem)
-		if !warmed {
-			warmed = true
-			for _, c := range cores {
-				if c.Retired() < cfg.WarmupInsts {
-					warmed = false
-					break
-				}
-			}
-			if warmed {
-				warmStart = mem
-			}
-		}
-		for _, comp := range ctrl.DrainCompletions() {
-			if warmed && comp.ArriveAt >= warmStart {
-				reads++
-				totalReadLatency += comp.DoneAt - comp.ArriveAt
-				hist.Observe(comp.DoneAt - comp.ArriveAt)
-			}
-			if comp.DoneAt <= mem {
-				cores[comp.CoreID].Complete(comp.ID)
-			} else {
-				heap.Push(&pending, comp)
-			}
-		}
-		// Background power accounting per rank.
-		for ch := 0; ch < geom.Channels; ch++ {
-			for r := 0; r < geom.Ranks; r++ {
-				idx := ch*geom.Ranks + r
-				switch {
-				case dev.RankBusy(ch, r, mem):
-					idleStreak[idx] = 0
-					activeCyc++
-				case cfg.PowerDownCycles > 0 && idleStreak[idx] >= cfg.PowerDownCycles:
-					pdCyc++
-				default:
-					idleStreak[idx]++
-					standbyCyc++
-				}
-			}
+		if ls.step(mem) {
+			break
 		}
 	}
+	activeCyc, standbyCyc, pdCyc := ls.activeCyc, ls.standbyCyc, ls.pdCyc
+	totalReadLatency, reads, hist, cpuCycle := ls.totalReadLatency, ls.reads, ls.hist, ls.cpuCycle
 
 	res := &Result{Workloads: cfg.Workloads, ReadCount: reads, Latency: hist, MemCycles: mem}
 	if checker != nil {
