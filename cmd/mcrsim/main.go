@@ -6,11 +6,15 @@
 //	mcrsim -workload tigr -k 4 -m 4 -region 1.0 -insts 2000000
 //	mcrsim -workload comm2,leslie,black,mummer -multicore -k 2 -m 2 -region 0.5 -alloc 0.1
 //	mcrsim -workload tigr -k 4 -compare          # baseline vs MCR, pooled
+//	mcrsim -workload tigr -k 4 -checkpoint run.ckpt -checkpoint-every 1000000
+//	mcrsim -workload tigr -k 4 -restore run.ckpt # strict resume after a crash
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -29,6 +33,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/runplan"
 	"repro/internal/sim"
+	"repro/internal/snapshot"
 	"repro/internal/trace"
 )
 
@@ -93,6 +98,54 @@ func parseWiring(s string) (mcr.Wiring, error) {
 	return 0, fmt.Errorf("unknown wiring %q (valid: n1k, ktok)", s)
 }
 
+// validateCheckpointFlags resolves the -checkpoint/-checkpoint-every/
+// -restore flag triple into a checkpoint policy, rejecting contradictory
+// combinations. -checkpoint starts (or leniently resumes) a periodically
+// snapshotted run; -restore strictly resumes from an existing snapshot,
+// continuing to write to it only when -checkpoint-every is also given.
+func validateCheckpointFlags(checkpoint, restore string, every int64, compare bool) (*sim.CheckpointConfig, error) {
+	if every < 0 {
+		return nil, fmt.Errorf("-checkpoint-every must be positive, got %d", every)
+	}
+	if compare && (checkpoint != "" || restore != "") {
+		return nil, errors.New("-compare runs two simulations and cannot share one snapshot file; drop -checkpoint/-restore (sweeps checkpoint via reproduce -checkpoint-dir)")
+	}
+	switch {
+	case checkpoint != "" && restore != "":
+		return nil, errors.New("-checkpoint and -restore conflict: -checkpoint starts (or leniently resumes) a snapshotted run, -restore strictly resumes an existing one")
+	case checkpoint != "":
+		if every == 0 {
+			return nil, errors.New("-checkpoint needs -checkpoint-every (snapshot interval in memory cycles)")
+		}
+		return &sim.CheckpointConfig{Path: checkpoint, EveryNCycles: every, Resume: true}, nil
+	case restore != "":
+		return &sim.CheckpointConfig{Path: restore, EveryNCycles: every, Resume: true, Strict: true}, nil
+	case every != 0:
+		return nil, errors.New("-checkpoint-every needs -checkpoint or -restore")
+	}
+	return nil, nil
+}
+
+// validateRestoreConfig checks — before the run starts — that the
+// snapshot at path was produced by exactly this configuration, so a flag
+// mismatch (a different -fault-seed, -seed, -insts, -workload or mode)
+// is a usage error up front rather than a mid-startup failure.
+func validateRestoreConfig(path string, cfg sim.Config) error {
+	st, err := snapshot.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-restore %s: %w", path, err)
+	}
+	want, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(st.ConfigJSON, want) {
+		return fmt.Errorf("-restore %s: %w: the snapshot was taken under a different configuration (check -fault-seed, -seed, -insts, -workload and the mode flags)\n  snapshot: %s\n  flags:    %s",
+			path, snapshot.ErrConfigMismatch, st.ConfigJSON, want)
+	}
+	return nil
+}
+
 // validateWorkloads checks every name against the Table 5 catalogue and
 // lists the catalogue on failure.
 func validateWorkloads(names []string) error {
@@ -138,6 +191,9 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit the result as JSON")
 		histogram = flag.Bool("hist", false, "print the read-latency histogram")
 		full      = flag.Bool("report", false, "print the full run report instead of the summary")
+		ckptPath  = flag.String("checkpoint", "", "write crash-safe periodic snapshots of the full simulator state to this file, resuming from it when present (needs -checkpoint-every)")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "snapshot interval in memory cycles")
+		restore   = flag.String("restore", "", "resume strictly from this snapshot file; it must exist and match the configuration flags")
 		metrics   = flag.Bool("metrics", false, "attach the cycle-domain observability registry (stall attribution, per-bank commands)")
 		traceOut  = flag.String("trace-out", "", "write the run's command/policy events as Chrome trace_event JSON to this file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
@@ -162,6 +218,10 @@ func main() {
 	}
 	if *insts <= 0 {
 		fatal(fmt.Errorf("-insts must be positive, got %d", *insts))
+	}
+	ck, err := validateCheckpointFlags(*ckptPath, *restore, *ckptEvery, *compare)
+	if err != nil {
+		usageFatal(err)
 	}
 
 	cfg := sim.DefaultConfig(names[0])
@@ -224,6 +284,14 @@ func main() {
 		return
 	}
 
+	if ck != nil {
+		cfg.Checkpoint = ck
+		if ck.Strict {
+			if err := validateRestoreConfig(ck.Path, cfg); err != nil {
+				usageFatal(err)
+			}
+		}
+	}
 	if *metrics {
 		cfg.Metrics = obs.NewRegistry()
 	}
@@ -342,4 +410,12 @@ func runCompare(ctx context.Context, cfg sim.Config, mode mcr.Mode, jobs int, ve
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "mcrsim:", err)
 	os.Exit(1)
+}
+
+// usageFatal reports a flag-combination error the way flag parsing does:
+// the message, the usage text, exit code 2.
+func usageFatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcrsim:", err)
+	flag.Usage()
+	os.Exit(2)
 }

@@ -1,11 +1,18 @@
 package main
 
 import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/fault"
 	"repro/internal/mcr"
 	"repro/internal/mcr/mcrtest"
+	"repro/internal/sim"
+	"repro/internal/snapshot"
 )
 
 func TestParseModeValid(t *testing.T) {
@@ -62,6 +69,92 @@ func TestParseWiring(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "n1k") || !strings.Contains(err.Error(), "ktok") {
 		t.Errorf("error must list the valid wirings: %v", err)
+	}
+}
+
+func TestValidateCheckpointFlags(t *testing.T) {
+	// No checkpoint flags: no policy.
+	if ck, err := validateCheckpointFlags("", "", 0, false); err != nil || ck != nil {
+		t.Fatalf("no flags: %v %v", ck, err)
+	}
+	// -checkpoint with its interval: lenient resume.
+	ck, err := validateCheckpointFlags("run.ckpt", "", 4096, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Path != "run.ckpt" || ck.EveryNCycles != 4096 || !ck.Resume || ck.Strict {
+		t.Fatalf("-checkpoint policy = %+v", ck)
+	}
+	// -restore alone: strict resume, no further writes.
+	ck, err = validateCheckpointFlags("", "run.ckpt", 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Path != "run.ckpt" || ck.EveryNCycles != 0 || !ck.Resume || !ck.Strict {
+		t.Fatalf("-restore policy = %+v", ck)
+	}
+
+	// Contradictory combinations, each with a message naming the cure.
+	cases := []struct {
+		checkpoint, restore string
+		every               int64
+		compare             bool
+		want                string // substring the error must carry
+	}{
+		{"run.ckpt", "", 0, false, "-checkpoint-every"},
+		{"", "", 4096, false, "-checkpoint-every needs"},
+		{"a.ckpt", "b.ckpt", 4096, false, "conflict"},
+		{"run.ckpt", "", -1, false, "positive"},
+		{"run.ckpt", "", 4096, true, "-compare"},
+		{"", "run.ckpt", 0, true, "-compare"},
+	}
+	for _, c := range cases {
+		_, err := validateCheckpointFlags(c.checkpoint, c.restore, c.every, c.compare)
+		if err == nil {
+			t.Errorf("checkpoint=%q restore=%q every=%d compare=%v accepted", c.checkpoint, c.restore, c.every, c.compare)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("checkpoint=%q restore=%q every=%d: error %q must contain %q", c.checkpoint, c.restore, c.every, err, c.want)
+		}
+	}
+}
+
+// TestValidateRestoreConfig: -restore with mismatched configuration flags
+// (here a different -fault-seed) is refused before the run starts.
+func TestValidateRestoreConfig(t *testing.T) {
+	cfg := sim.DefaultConfig("stream")
+	cfg.InstsPerCore = 5_000
+	cfg.Fault = &fault.Config{Seed: 7, WeakFraction: 0.05, TailMinFrac: 0.0005, TailMaxFrac: 0.005}
+	s, err := sim.NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "run.ckpt")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := validateRestoreConfig(path, cfg); err != nil {
+		t.Fatalf("matching config rejected: %v", err)
+	}
+	other := cfg
+	fc := *cfg.Fault
+	fc.Seed = 8 // the -fault-seed mismatch
+	other.Fault = &fc
+	err = validateRestoreConfig(path, other)
+	if !errors.Is(err, snapshot.ErrConfigMismatch) {
+		t.Fatalf("want snapshot.ErrConfigMismatch, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "-fault-seed") {
+		t.Errorf("error must point at the flag family: %v", err)
+	}
+	if err := validateRestoreConfig(filepath.Join(t.TempDir(), "absent.ckpt"), cfg); err == nil {
+		t.Error("missing snapshot accepted")
 	}
 }
 

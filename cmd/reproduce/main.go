@@ -6,11 +6,15 @@
 //	reproduce -all                 # everything
 //	reproduce -all -jobs 8         # pooled execution, 8 simulations in flight
 //	reproduce -fig 11 -insts 2000000 -metric readlat
+//	reproduce -all -checkpoint-dir /tmp/ckpt   # crash-safe resumable sweep
 //
 // Sweeps run through the internal/runplan executor: independent cells
 // execute on a bounded worker pool (-jobs, default GOMAXPROCS) with the
 // per-workload baselines memoized, and Ctrl-C cancels in-flight
-// simulations cleanly.
+// simulations cleanly. With -checkpoint-dir, every simulation
+// periodically snapshots its full state there; a retried attempt or a
+// rerun after Ctrl-C resumes from the last snapshot instead of
+// restarting from cycle zero.
 package main
 
 import (
@@ -97,6 +101,9 @@ func main() {
 		retries     = flag.Int("retries", 0, "additional attempts for a failed simulation")
 		specTimeout = flag.Duration("spec-timeout", 0, "wall-clock bound per simulation attempt (0 = unbounded)")
 
+		ckptDir   = flag.String("checkpoint-dir", "", "write crash-safe periodic snapshots per simulation under this directory; retries and reruns resume from them")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "snapshot interval in memory cycles (0 = the executor default; needs -checkpoint-dir)")
+
 		metrics   = flag.Bool("metrics", false, "attach an observability registry per simulation (adds an obs summary to -v progress lines)")
 		traceOut  = flag.String("trace-out", "", "write every variant run's command/policy events as one Chrome trace_event JSON file")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address, e.g. localhost:6060")
@@ -105,6 +112,16 @@ func main() {
 
 	if err := validateMetric(*metric); err != nil {
 		fatal(err)
+	}
+	if *ckptEvery != 0 && *ckptDir == "" {
+		fmt.Fprintln(os.Stderr, "reproduce: -checkpoint-every needs -checkpoint-dir")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *ckptEvery < 0 {
+		fmt.Fprintf(os.Stderr, "reproduce: -checkpoint-every must be positive, got %d\n", *ckptEvery)
+		flag.Usage()
+		os.Exit(2)
 	}
 	if *pprofAddr != "" {
 		go func() {
@@ -120,8 +137,9 @@ func main() {
 	opt := experiments.Options{
 		Insts: *insts, Seed: *seed, Jobs: *jobs, Context: ctx,
 		KeepGoing: *keepGoing, Retries: *retries, SpecTimeout: *specTimeout,
-		RetryBackoff: 100 * time.Millisecond,
-		Metrics:      *metrics,
+		RetryBackoff:  100 * time.Millisecond,
+		Metrics:       *metrics,
+		CheckpointDir: *ckptDir, CheckpointEvery: *ckptEvery,
 	}
 	if *traceOut != "" {
 		opt.TraceCap = obs.DefaultTraceCap

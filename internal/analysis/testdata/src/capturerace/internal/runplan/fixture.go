@@ -96,3 +96,58 @@ func fireAndForget() {
 		bump() // want `goroutine calls runplan\.bump, which writes package-level runplan\.hits, without holding a lock`
 	}()
 }
+
+// checkpointer mimics the periodic snapshot writer's shared cursor: the
+// cycle the last on-disk snapshot covers, advanced as the run progresses.
+type checkpointer struct {
+	mu        sync.Mutex
+	lastWrite int64
+}
+
+// A background checkpoint-writer goroutine advancing the captured cursor
+// lock-free while the simulation loop keeps mutating the same state:
+// flagged.
+func checkpointWriterRace(c *checkpointer, every int64, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.lastWrite += every // want `goroutine writes state reachable from c, declared outside the goroutine, without holding a lock`
+		}
+	}()
+}
+
+// The same cursor advance under the checkpointer's mutex: quiet.
+func checkpointWriterLocked(c *checkpointer, every int64, done chan struct{}) {
+	go func() {
+		c.mu.Lock()
+		c.lastWrite += every
+		c.mu.Unlock()
+		close(done)
+	}()
+}
+
+// Handing the writer an immutable snapshot by argument — the simulator's
+// actual idiom: the loop exports state, the writer persists its private
+// copy: quiet.
+func checkpointWriterByValue(c *checkpointer, done chan struct{}) {
+	go func(snap int64) {
+		_ = snap
+		close(done)
+	}(c.lastWrite)
+}
+
+// Channel handoff: the writer owns its cursor locally and receives cycle
+// numbers from the loop: quiet.
+func checkpointWriterChannel(cycles <-chan int64) {
+	go func() {
+		last := int64(0)
+		for cyc := range cycles {
+			last = cyc
+		}
+		_ = last
+	}()
+}

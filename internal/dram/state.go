@@ -1,0 +1,99 @@
+// Checkpoint support for the device model: the JEDEC state machines
+// (banks, ranks, buses), the event counters and the mechanism backend's
+// policy state, exported as one flat value and reinstated on a freshly
+// built device of the same configuration.
+
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/mech"
+)
+
+// BankState mirrors bank for serialization.
+type BankState struct {
+	OpenRow   int
+	OpenMCR   bool
+	NextAct   int64
+	NextRead  int64
+	NextWrite int64
+	NextPre   int64
+}
+
+// RankState mirrors rank for serialization.
+type RankState struct {
+	ActWindow        [4]int64
+	ActWindowAt      int
+	NextAct          int64
+	NextReadOK       int64
+	RefreshBusyUntil int64
+}
+
+// State is the checkpointable state of a device.
+type State struct {
+	Banks        []BankState
+	Ranks        []RankState
+	BusBusyUntil []int64
+	BusOwner     []int
+	NextCol      []int64
+	Stats        Stats
+	PerBankActs  []int64
+	Mech         mech.State
+}
+
+// ExportState copies the device's mutable state out for a checkpoint.
+func (d *Device) ExportState() State {
+	st := State{
+		Banks:        make([]BankState, len(d.banks)),
+		Ranks:        make([]RankState, len(d.ranks)),
+		BusBusyUntil: append([]int64(nil), d.busBusyUntil...),
+		BusOwner:     append([]int(nil), d.busOwner...),
+		NextCol:      append([]int64(nil), d.nextCol...),
+		Stats:        d.stats,
+		PerBankActs:  append([]int64(nil), d.perBankActs...),
+		Mech:         d.mech.ExportState(),
+	}
+	for i, b := range d.banks {
+		st.Banks[i] = BankState{OpenRow: b.openRow, OpenMCR: b.openMCR, NextAct: b.nextAct, NextRead: b.nextRead, NextWrite: b.nextWrite, NextPre: b.nextPre}
+	}
+	for i, r := range d.ranks {
+		st.Ranks[i] = RankState{ActWindow: r.actWindow, ActWindowAt: r.actWindowAt, NextAct: r.nextAct, NextReadOK: r.nextReadOK, RefreshBusyUntil: r.refreshBusyUntil}
+	}
+	return st
+}
+
+// ImportState reinstates a checkpointed state on a freshly built device
+// of the same configuration, delegating the policy state to the mechanism
+// backend and re-reading its (possibly mode-updated) config and timings.
+func (d *Device) ImportState(st State) error {
+	switch {
+	case len(st.Banks) != len(d.banks):
+		return fmt.Errorf("dram: checkpoint has %d banks, device has %d", len(st.Banks), len(d.banks))
+	case len(st.Ranks) != len(d.ranks):
+		return fmt.Errorf("dram: checkpoint has %d ranks, device has %d", len(st.Ranks), len(d.ranks))
+	case len(st.BusBusyUntil) != len(d.busBusyUntil) || len(st.BusOwner) != len(d.busOwner) || len(st.NextCol) != len(d.nextCol):
+		return fmt.Errorf("dram: checkpoint channel-state widths do not match the device geometry")
+	case len(st.PerBankActs) != len(d.perBankActs):
+		return fmt.Errorf("dram: checkpoint has %d per-bank counters, device has %d", len(st.PerBankActs), len(d.perBankActs))
+	}
+	for i, b := range st.Banks {
+		d.banks[i] = bank{openRow: b.OpenRow, openMCR: b.OpenMCR, nextAct: b.NextAct, nextRead: b.NextRead, nextWrite: b.NextWrite, nextPre: b.NextPre}
+	}
+	for i, r := range st.Ranks {
+		d.ranks[i] = rank{actWindow: r.ActWindow, actWindowAt: r.ActWindowAt, nextAct: r.NextAct, nextReadOK: r.NextReadOK, refreshBusyUntil: r.RefreshBusyUntil}
+	}
+	copy(d.busBusyUntil, st.BusBusyUntil)
+	copy(d.busOwner, st.BusOwner)
+	copy(d.nextCol, st.NextCol)
+	d.stats = st.Stats
+	copy(d.perBankActs, st.PerBankActs)
+	if err := d.mech.ImportState(st.Mech); err != nil {
+		return err
+	}
+	// A replayed MRS rebuilt the backend's config and timing classes; the
+	// device caches both, so refresh the caches.
+	d.cfg = d.mech.Config()
+	d.tim = d.mech.Timings()
+	return nil
+}

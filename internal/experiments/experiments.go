@@ -61,6 +61,14 @@ type Options struct {
 	// that capacity per run (runplan.Result.Trace). See runplan.Executor.
 	Metrics  bool
 	TraceCap int
+	// CheckpointDir, when non-empty, gives every simulation a crash-safe
+	// periodic snapshot under that directory; failed attempts (panics,
+	// SpecTimeout) resume from the last snapshot on retry, and an
+	// interrupted sweep rerun with the same options skips already-covered
+	// cycles. CheckpointEvery is the snapshot interval in memory cycles
+	// (0 selects runplan.DefaultCheckpointEvery). See runplan.Executor.
+	CheckpointDir   string
+	CheckpointEvery int64
 }
 
 // withDefaults fills unset options.
@@ -85,6 +93,7 @@ func (o Options) execute(plan *runplan.Plan) ([]runplan.Result, error) {
 		SpecTimeout: o.SpecTimeout, Retries: o.Retries,
 		RetryBackoff: o.RetryBackoff, KeepGoing: o.KeepGoing,
 		Metrics: o.Metrics, TraceCap: o.TraceCap,
+		CheckpointDir: o.CheckpointDir, CheckpointEvery: o.CheckpointEvery,
 	}
 	return ex.Execute(o.Context, plan)
 }

@@ -19,6 +19,7 @@ package integrity
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/mcr"
 	"repro/internal/timing"
@@ -307,9 +308,23 @@ func (c *Checker) RecordRefresh(bank, row int, restoreLevel, tMs float64) {
 }
 
 // Sweep checks every tracked row at time t (call at end of simulation).
+// Rows are visited in (bank, row) order so the violations it appends land
+// deterministically — Violations() order is part of the Result parity
+// contract and indexes the resilience policy's consumption cursor.
 func (c *Checker) Sweep(tMs float64) {
-	for bank, br := range c.rows {
-		for row := range br {
+	banks := make([]int, 0, len(c.rows))
+	for bank := range c.rows { //mcrlint:allow determinism sorted immediately below, order-free
+		banks = append(banks, bank)
+	}
+	sort.Ints(banks)
+	for _, bank := range banks {
+		br := c.rows[bank]
+		rows := make([]int, 0, len(br))
+		for row := range br { //mcrlint:allow determinism sorted immediately below, order-free
+			rows = append(rows, row)
+		}
+		sort.Ints(rows)
+		for _, row := range rows {
 			c.check(bank, row, tMs)
 		}
 	}
@@ -324,6 +339,70 @@ func (c *Checker) ViolationCount() int { return len(c.found) }
 
 // Ok reports whether the schedule has been retention-safe.
 func (c *Checker) Ok() bool { return len(c.found) == 0 }
+
+// RowSnapshot is the checkpointed charge state of one shadowed row.
+type RowSnapshot struct {
+	Bank, Row int
+	AtMs      float64
+	Level     float64
+	Ever      bool
+}
+
+// State is the checkpointable state of a checker: every shadowed row's
+// last charge event (sorted by bank then row), the violations found so
+// far (in detection order — downstream cursors index it) and the
+// sense-margin dedup set.
+type State struct {
+	Rows      []RowSnapshot
+	Found     []Violation
+	SenseSeen [][2]int
+}
+
+// ExportState copies the checker's mutable state out for a checkpoint.
+func (c *Checker) ExportState() State {
+	var st State
+	for bank, br := range c.rows { //mcrlint:allow determinism sorted immediately below, order-free
+		for row, rs := range br { //mcrlint:allow determinism sorted immediately below, order-free
+			st.Rows = append(st.Rows, RowSnapshot{Bank: bank, Row: row, AtMs: rs.atMs, Level: rs.level, Ever: rs.ever})
+		}
+	}
+	sort.Slice(st.Rows, func(i, j int) bool {
+		if st.Rows[i].Bank != st.Rows[j].Bank {
+			return st.Rows[i].Bank < st.Rows[j].Bank
+		}
+		return st.Rows[i].Row < st.Rows[j].Row
+	})
+	st.Found = append([]Violation(nil), c.found...)
+	for key := range c.senseSeen { //mcrlint:allow determinism sorted immediately below, order-free
+		st.SenseSeen = append(st.SenseSeen, key)
+	}
+	sort.Slice(st.SenseSeen, func(i, j int) bool {
+		if st.SenseSeen[i][0] != st.SenseSeen[j][0] {
+			return st.SenseSeen[i][0] < st.SenseSeen[j][0]
+		}
+		return st.SenseSeen[i][1] < st.SenseSeen[j][1]
+	})
+	return st
+}
+
+// ImportState overwrites the checker's mutable state with a checkpointed
+// one; configuration, fault model and mode context are rebuilt by the
+// caller and stay untouched.
+func (c *Checker) ImportState(st State) {
+	c.rows = make(map[int]map[int]*rowState)
+	for _, r := range st.Rows {
+		s := c.state(r.Bank, r.Row)
+		s.atMs, s.level, s.ever = r.AtMs, r.Level, r.Ever
+	}
+	c.found = append([]Violation(nil), st.Found...)
+	c.senseSeen = nil
+	if len(st.SenseSeen) > 0 {
+		c.senseSeen = make(map[[2]int]bool, len(st.SenseSeen))
+		for _, key := range st.SenseSeen {
+			c.senseSeen[key] = true
+		}
+	}
+}
 
 // RestoreLevelFor translates an M/Kx mode's Early-Precharge target into a
 // restore level for the checker: the paper's rule is that a cell refreshed

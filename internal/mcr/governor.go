@@ -177,3 +177,21 @@ func (g *Governor) RecordViolations(n int) Decision {
 
 // ViolationCount returns the violations accumulated at the current rung.
 func (g *Governor) ViolationCount() int { return g.violations }
+
+// ExportState returns the governor's mutable state — the current ladder
+// rung and the violations accumulated at it — for checkpointing. The
+// ladder itself is fixed at construction and need not be saved.
+func (g *Governor) ExportState() (pos, violations int) { return g.pos, g.violations }
+
+// RestoreState reinstates a checkpointed rung position and violation
+// count on a freshly built governor.
+func (g *Governor) RestoreState(pos, violations int) error {
+	if pos < 0 || pos >= len(g.ladder) {
+		return fmt.Errorf("mcr: governor rung %d out of range [0,%d)", pos, len(g.ladder))
+	}
+	if violations < 0 {
+		return fmt.Errorf("mcr: governor violation count must be non-negative, got %d", violations)
+	}
+	g.pos, g.violations = pos, violations
+	return nil
+}

@@ -35,6 +35,24 @@ func (r *ModeRegister) Set(m Mode) error {
 	return nil
 }
 
+// Restore reinstates a previously observed register state — mode and
+// exact generation counter — when resuming from a checkpoint. A zero
+// generation means the register was never programmed, so the mode must be
+// the disabled one; any programmed generation requires a valid mode.
+func (r *ModeRegister) Restore(m Mode, generation int) error {
+	if generation < 0 {
+		return fmt.Errorf("mcr: mode-register generation must be non-negative, got %d", generation)
+	}
+	if generation > 0 {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	r.mode = m
+	r.generation = generation
+	return nil
+}
+
 // Encode packs a mode into the reserved MR3 field the paper proposes:
 // bits [1:0] log2(K), bits [3:2] log2(K/M), bits [6:4] region in quarters.
 func Encode(m Mode) (uint16, error) {

@@ -112,6 +112,14 @@ type Mechanism interface {
 
 	// Stats returns a copy of the mechanism's policy counters.
 	Stats() Stats
+
+	// ExportState flattens the backend's mutable policy state for a
+	// checkpoint; ImportState reinstates it on a freshly built backend of
+	// the same configuration (see state.go). After ImportState the device
+	// must re-read Config and Timings — an imported MCR mode switch
+	// rebuilds both.
+	ExportState() State
+	ImportState(st State) error
 }
 
 // New selects and builds the backend a configuration asks for: exactly

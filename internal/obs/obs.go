@@ -292,3 +292,52 @@ func (r *Registry) Snapshot() *Snapshot {
 	}
 	return s
 }
+
+// ImportSnapshot overwrites the registry's counters with a previously
+// exported snapshot, so a run restored from a checkpoint continues
+// accumulating where the interrupted run left off. It sets (not adds)
+// every counter; call it at setup, never concurrently with increments.
+// A nil receiver or snapshot is a no-op.
+func (r *Registry) ImportSnapshot(s *Snapshot) {
+	if r == nil || s == nil {
+		return
+	}
+	if n := len(s.LatencyCounts); n > 0 && n != NumLatencyBuckets {
+		return // bucket layout from a different build: nothing sane to import
+	}
+	r.rowHits.Store(s.RowHits)
+	r.rowMisses.Store(s.RowMisses)
+	r.rowConflicts.Store(s.RowConflicts)
+	r.reads.Store(s.Reads)
+	r.refreshDebtPeak.Store(s.RefreshDebtPeak)
+	r.modeChanges.Store(s.ModeChanges)
+	r.quarantines.Store(s.QuarantinedRows)
+	r.violations.Store(s.Violations)
+	for i := range r.latency {
+		var v int64
+		if i < len(s.LatencyCounts) {
+			v = s.LatencyCounts[i]
+		}
+		r.latency[i].Store(v)
+	}
+	for c := range r.stall {
+		r.stall[c].Store(s.Stall[c])
+	}
+	banks := 0
+	for c := Cmd(0); c < numCmds; c++ {
+		if n := len(s.PerBank[c.String()]); n > banks {
+			banks = n
+		}
+	}
+	r.EnsureBanks(banks)
+	for c := Cmd(0); c < numCmds; c++ {
+		per := s.PerBank[c.String()]
+		for b := 0; b < r.banks; b++ {
+			var v int64
+			if b < len(per) {
+				v = per[b]
+			}
+			atomic.StoreInt64(&r.perBank[int(c)*r.banks+b], v)
+		}
+	}
+}

@@ -5,6 +5,11 @@
 
 package obs
 
+import (
+	"errors"
+	"fmt"
+)
+
 // EventKind tags one traced event.
 type EventKind uint8
 
@@ -149,6 +154,50 @@ func (t *Tracer) Dropped() int64 {
 		return d
 	}
 	return 0
+}
+
+// TracerState is a checkpointable copy of a tracer's ring buffer: the
+// raw slot contents (not rotated), the lifetime event count and the ring
+// capacity. Restoring it into a tracer of the same capacity reproduces
+// the exact wrap behavior of the interrupted run.
+type TracerState struct {
+	Buf []Event
+	N   int64
+	Cap int
+}
+
+// ExportState copies the tracer's state out for a checkpoint. Nil for a
+// nil tracer.
+func (t *Tracer) ExportState() *TracerState {
+	if t == nil {
+		return nil
+	}
+	return &TracerState{Buf: append([]Event(nil), t.buf...), N: t.n, Cap: cap(t.buf)}
+}
+
+// ImportState overwrites the tracer's ring with a checkpointed state.
+// The capacities must match — a ring of a different size would wrap at
+// different points and diverge from the uninterrupted run. A nil receiver
+// with a nil state is a no-op; any other mismatch is an error.
+func (t *Tracer) ImportState(st *TracerState) error {
+	if t == nil {
+		if st == nil {
+			return nil
+		}
+		return errors.New("obs: checkpoint carries trace events but no tracer is attached")
+	}
+	if st == nil {
+		return nil
+	}
+	if cap(t.buf) != st.Cap {
+		return fmt.Errorf("obs: tracer capacity %d does not match checkpointed capacity %d", cap(t.buf), st.Cap)
+	}
+	if len(st.Buf) > st.Cap {
+		return fmt.Errorf("obs: checkpointed tracer holds %d events over its capacity %d", len(st.Buf), st.Cap)
+	}
+	t.buf = append(t.buf[:0], st.Buf...)
+	t.n = st.N
+	return nil
 }
 
 // Events returns the buffered events oldest-first (a copy).

@@ -7,8 +7,11 @@ package runplan
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"runtime/debug"
 	"sync"
@@ -83,7 +86,25 @@ type Executor struct {
 	// of that capacity to every simulation whose config does not already
 	// carry one; the tracers land on Result.Trace/BaseTrace.
 	TraceCap int
+	// CheckpointDir, when non-empty, gives every simulation whose config
+	// does not already carry a checkpoint policy a crash-safe periodic
+	// snapshot under that directory (one file per unique config, named by
+	// the canonical config key's hash). Failed attempts — a panic inside
+	// the simulator, a SpecTimeout — then RESUME from the last snapshot
+	// on retry instead of restarting from cycle zero, and an interrupted
+	// sweep rerun with the same directory picks up mid-run. Completed
+	// runs remove their snapshot.
+	CheckpointDir string
+	// CheckpointEvery is the snapshot cadence in memory cycles;
+	// 0 (or negative) selects DefaultCheckpointEvery.
+	CheckpointEvery int64
 }
+
+// DefaultCheckpointEvery is the snapshot cadence used when CheckpointDir
+// is set without an explicit CheckpointEvery: about a million memory
+// cycles, so even long specs lose little progress while the write
+// amortizes to noise (see EXPERIMENTS.md).
+const DefaultCheckpointEvery = 1 << 20
 
 // instrument applies the executor's observability policy to one run's
 // config (a private copy — Spec configs are never mutated), returning the
@@ -96,6 +117,20 @@ func (e *Executor) instrument(cfg sim.Config) (sim.Config, *obs.Tracer) {
 	if e.TraceCap > 0 && cfg.Trace == nil {
 		tr = obs.NewTracer(e.TraceCap)
 		cfg.Trace = tr
+	}
+	if e.CheckpointDir != "" && cfg.Checkpoint == nil {
+		if key, err := ConfigKey(cfg); err == nil {
+			every := e.CheckpointEvery
+			if every <= 0 {
+				every = DefaultCheckpointEvery
+			}
+			sum := sha256.Sum256([]byte(key))
+			cfg.Checkpoint = &sim.CheckpointConfig{
+				Path:         filepath.Join(e.CheckpointDir, hex.EncodeToString(sum[:8])+".ckpt"),
+				EveryNCycles: every,
+				Resume:       true,
+			}
+		}
 	}
 	return cfg, tr
 }

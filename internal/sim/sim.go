@@ -6,7 +6,6 @@ package sim
 
 import (
 	"context"
-	"fmt"
 	"time"
 
 	"repro/internal/alloc"
@@ -79,6 +78,14 @@ type Config struct {
 	// simulation results.
 	Metrics *obs.Registry `json:"-"`
 	Trace   *obs.Tracer   `json:"-"`
+
+	// Checkpoint, when non-nil, enables crash-safe periodic snapshots of
+	// the complete simulator state and (optionally) resuming from the
+	// last one (see CheckpointConfig). Excluded from JSON like the
+	// observability attachments: checkpointing never changes results, and
+	// the snapshot itself records the marshalled config for the restore-
+	// time compatibility check.
+	Checkpoint *CheckpointConfig `json:"-"`
 }
 
 // DefaultConfig returns a single-core run of the given workload with MCR
@@ -151,99 +158,15 @@ func Run(cfg Config) (*Result, error) {
 // RunContext executes the simulation to completion, aborting early (with
 // the context's error) when ctx is cancelled. Cancellation is checked in
 // the main cycle loop, so Ctrl-C and test timeouts cut long runs short
-// instead of waiting for the instruction budget to drain.
+// instead of waiting for the instruction budget to drain. With
+// Config.Checkpoint set, the run may start from the configured snapshot
+// and periodically persists its state (see CheckpointConfig).
 func RunContext(ctx context.Context, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if len(cfg.Workloads) == 0 {
-		return nil, fmt.Errorf("sim: at least one workload required")
-	}
-	if cfg.InstsPerCore <= 0 {
-		return nil, fmt.Errorf("sim: InstsPerCore must be positive, got %d", cfg.InstsPerCore)
-	}
-	dev, err := dram.New(cfg.DRAM)
+	s, err := openSim(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	rows, err := buildAllocation(cfg, dev)
-	if err != nil {
-		return nil, err
-	}
-	// Fault injection implies the integrity checker: faults only surface
-	// as violations through it.
-	var fm *fault.Model
-	if cfg.Fault != nil && cfg.Fault.Enabled() {
-		fcfg := *cfg.Fault
-		if fcfg.Seed == 0 {
-			fcfg.Seed = cfg.Seed
-		}
-		fm, err = fault.NewModel(fcfg, cfg.DRAM.Geom.Rows)
-		if err != nil {
-			return nil, err
-		}
-	}
-	icfg := cfg.Integrity
-	if icfg == nil && (fm != nil || cfg.Resilience != nil) {
-		def := integrity.DefaultConfig()
-		icfg = &def
-	}
-	var checker *integrity.DeviceAdapter
-	if icfg != nil {
-		if fm != nil {
-			checker, err = integrity.AttachWithFaults(dev, *icfg, fm)
-		} else {
-			checker, err = integrity.Attach(dev, *icfg)
-		}
-		if err != nil {
-			return nil, err
-		}
-	}
-	ctrl, err := controller.New(cfg.Ctrl, dev, rows)
-	if err != nil {
-		return nil, err
-	}
-	var resil *resilienceState
-	if cfg.Resilience != nil {
-		resil, err = newResilience(*cfg.Resilience, dev, ctrl, checker)
-		if err != nil {
-			return nil, err
-		}
-	}
-	if cfg.Metrics != nil || cfg.Trace != nil {
-		geom := cfg.DRAM.Geom
-		cfg.Metrics.EnsureBanks(geom.Channels * geom.Ranks * geom.Banks)
-		dev.SetObservability(cfg.Metrics, cfg.Trace)
-		ctrl.SetObservability(cfg.Metrics, cfg.Trace)
-		if resil != nil {
-			resil.obs, resil.tr = cfg.Metrics, cfg.Trace
-		}
-	}
-
-	cores := make([]*cpu.Core, len(cfg.Workloads))
-	for i, name := range cfg.Workloads {
-		w, err := trace.ByName(name)
-		if err != nil {
-			return nil, err
-		}
-		gen, err := trace.New(w, coreSeed(cfg.Seed, i), cfg.InstsPerCore, coreBaseRow(cfg, dev.Config().Geom, i))
-		if err != nil {
-			return nil, err
-		}
-		cores[i], err = cpu.New(cfg.CPU, i, gen, ctrl, cfg.InstsPerCore)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	start := time.Now() //mcrlint:allow determinism wall-clock instrumentation (Result.Wall), never results
-	res, err := runLoop(ctx, cfg, dev, ctrl, cores, checker, resil)
-	if err != nil {
-		return nil, err
-	}
-	res.Wall = time.Since(start) //mcrlint:allow detflow Result.Wall is documented host wall-clock instrumentation
-	return res, nil
+	return s.Run(ctx)
 }
 
 // coreSeed derives a per-core deterministic seed.
@@ -442,114 +365,4 @@ func (ls *loopState) step(mem int64) (done bool) {
 		}
 	}
 	return false
-}
-
-// runLoop is the main cycle loop: 4 CPU cycles then 1 controller cycle per
-// memory cycle, with rank-state power accounting. The per-cycle body lives
-// in loopState.step; runLoop keeps the amortized cancellation poll, the
-// runaway guard and the result-building epilogue, all of which may
-// allocate.
-func runLoop(ctx context.Context, cfg Config, dev *dram.Device, ctrl *controller.Controller, cores []*cpu.Core, checker *integrity.DeviceAdapter, resil *resilienceState) (*Result, error) {
-	geom := dev.Config().Geom
-	ls := &loopState{
-		cfg:        cfg,
-		geom:       geom,
-		dev:        dev,
-		ctrl:       ctrl,
-		cores:      cores,
-		idleStreak: make([]int, geom.Channels*geom.Ranks),
-		hist:       NewLatencyHistogram(),
-		warmed:     cfg.WarmupInsts <= 0,
-	}
-	const safetyCap = int64(4) << 32 // runaway guard
-	var mem int64
-	for mem = 0; ; mem++ {
-		if mem > safetyCap {
-			return nil, fmt.Errorf("sim: exceeded %d memory cycles without finishing", safetyCap)
-		}
-		// Cancellation check and resilience poll, amortized so the hot
-		// loop stays branch-cheap. The polling cadence models a periodic
-		// ECC scrub: detection lags the violation by at most 4096 memory
-		// cycles (~5 µs), far inside any retention margin of interest.
-		if mem&0xFFF == 0 {
-			if ctx.Err() != nil {
-				return nil, ctx.Err()
-			}
-			if resil != nil {
-				resil.poll(mem)
-			}
-		}
-		if ls.step(mem) {
-			break
-		}
-	}
-	activeCyc, standbyCyc, pdCyc := ls.activeCyc, ls.standbyCyc, ls.pdCyc
-	totalReadLatency, reads, hist, cpuCycle := ls.totalReadLatency, ls.reads, ls.hist, ls.cpuCycle
-
-	res := &Result{Workloads: cfg.Workloads, ReadCount: reads, Latency: hist, MemCycles: mem}
-	if checker != nil {
-		checker.Finish(mem)
-		// Non-nil even when clean, so consumers can tell "verified safe"
-		// from "checker not attached".
-		res.Integrity = append([]integrity.Violation{}, checker.Violations()...)
-	}
-	if resil != nil {
-		res.Resilience = resil.finish(mem)
-	}
-	for i, c := range cores {
-		if c.DoneAt() > res.ExecCPUCycles {
-			res.ExecCPUCycles = c.DoneAt()
-		}
-		cs := CoreStats{
-			CoreID:       i,
-			Workload:     cfg.Workloads[i],
-			Retired:      c.Retired(),
-			DoneAtCPU:    c.DoneAt(),
-			ReadsIssued:  c.ReadsIssued,
-			WritesIssued: c.WritesIssued,
-			FetchStalls:  c.FetchStalls,
-		}
-		if cs.DoneAtCPU > 0 {
-			cs.IPC = float64(cs.Retired) / float64(cs.DoneAtCPU)
-		}
-		res.RetiredInsts += cs.Retired
-		res.Cores = append(res.Cores, cs)
-	}
-	if res.ExecCPUCycles == 0 {
-		res.ExecCPUCycles = cpuCycle
-	}
-	if reads > 0 {
-		res.AvgReadLatencyNS = core.MemCyclesToNS(totalReadLatency) / float64(reads)
-	}
-	res.IPC = float64(cfg.InstsPerCore) * float64(len(cores)) / float64(res.ExecCPUCycles)
-
-	res.Dev = dev.Stats()
-	res.Ctrl = ctrl.Stats()
-	res.Mechanism = dev.MechanismName()
-	mstats := dev.MechStats()
-	res.MechStats = &mstats
-	res.Obs = cfg.Metrics.Snapshot()
-	if res.Ctrl.ReadsDone > 0 {
-		res.MCRRequestFraction = float64(res.Ctrl.MCRReads) / float64(res.Ctrl.ReadsDone)
-	}
-
-	tim := dev.Timings()
-	usage := power.Usage{
-		NormalActs:       res.Dev.Activates - res.Dev.MCRActivates,
-		MCRActs:          res.Dev.MCRActivates,
-		Reads:            res.Dev.Reads,
-		Writes:           res.Dev.Writes,
-		NormalRefs:       res.Dev.Refreshes - res.Dev.MCRRefreshes,
-		MCRRefs:          res.Dev.MCRRefreshes,
-		MCRRows:          dev.Config().EffectiveLayout().MaxK(),
-		MCRTRASRatio:     float64(tim.MCR.TRAS) / float64(tim.Normal.TRAS),
-		MCRTRFCRatio:     float64(tim.RefreshMCRCycles) / float64(tim.Normal.TRFC),
-		ElapsedMemCycles: mem,
-		ActiveCycles:     activeCyc,
-		StandbyCycles:    standbyCyc,
-		PowerDownCycles:  pdCyc,
-	}
-	res.Energy = cfg.Power.Energy(usage)
-	res.EDPNJs = power.EDP(res.Energy.TotalNJ(), mem)
-	return res, nil
 }

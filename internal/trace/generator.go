@@ -41,6 +41,7 @@ type Generator struct {
 	cur     int      // index of the current stream
 
 	emitted int64 // memory records produced so far
+	calls   int64 // successful Next() calls, for checkpoint replay
 }
 
 // stream is one sequential walk through a row.
@@ -118,6 +119,7 @@ func (g *Generator) Next() (Record, bool) {
 		// Tail: all remaining instructions are non-memory.
 		r := Record{Gap: int(g.insts), Line: -1}
 		g.insts = 0
+		g.calls++
 		return r, true
 	}
 	g.insts -= int64(gap) + 1
@@ -136,7 +138,31 @@ func (g *Generator) Next() (Record, bool) {
 		kind = core.OpRead
 	}
 	g.emitted++
+	g.calls++
 	return Record{Gap: gap, Kind: kind, Line: line}, true
+}
+
+// Calls returns the number of successful Next calls so far. Because the
+// generator's only mutable state is its RNG and the stream walk both of
+// which advance exactly once per successful Next, (constructor arguments,
+// Calls) fully determines the generator's position — the checkpoint layer
+// restores a generator by rebuilding it and replaying that many calls.
+func (g *Generator) Calls() int64 { return g.calls }
+
+// Replay advances a freshly built generator by n successful Next calls,
+// discarding the records; it restores the exact RNG and stream position a
+// checkpointed generator had. Replaying past the end of the stream is an
+// error (the snapshot did not come from this generator's configuration).
+func (g *Generator) Replay(n int64) error {
+	if n < g.calls {
+		return fmt.Errorf("trace: cannot replay %d calls: generator already at %d", n, g.calls)
+	}
+	for g.calls < n {
+		if _, ok := g.Next(); !ok {
+			return fmt.Errorf("trace: stream exhausted after %d of %d replayed calls", g.calls, n)
+		}
+	}
+	return nil
 }
 
 // gap draws the non-memory instruction count before the next access. The

@@ -81,6 +81,29 @@ func WithResilience(rc ResilienceConfig) RunOption {
 	return func(c *Config) { c.Resilience = &rc }
 }
 
+// CheckpointConfig configures crash-safe periodic snapshots of the full
+// simulator state and resuming from them.
+type CheckpointConfig = sim.CheckpointConfig
+
+// WithCheckpoint makes the run write an atomic snapshot of the complete
+// simulator state to path every everyNCycles memory cycles, and resume
+// from an existing snapshot at path when one is present (a missing or
+// unreadable snapshot starts fresh). The file is removed when the run
+// completes, so a later identical invocation starts over instead of
+// replaying a finished run. A restored run produces a Result identical
+// to the uninterrupted one. Use WithCheckpointConfig for strict-resume
+// or notification hooks.
+func WithCheckpoint(path string, everyNCycles int64) RunOption {
+	return func(c *Config) {
+		c.Checkpoint = &sim.CheckpointConfig{Path: path, EveryNCycles: everyNCycles, Resume: true}
+	}
+}
+
+// WithCheckpointConfig attaches a fully specified checkpoint policy.
+func WithCheckpointConfig(ck CheckpointConfig) RunOption {
+	return func(c *Config) { c.Checkpoint = &ck }
+}
+
 // Run executes a configuration to completion, aborting early (with the
 // context's error) when ctx is cancelled. A nil ctx means
 // context.Background().
