@@ -3,16 +3,20 @@
 //
 // Usage:
 //
-//	mcrlint [-json] [-list] [-checks names] [-baseline file] [-write-baseline file] [packages]
+//	mcrlint [-json] [-list] [-list-checks] [-checks names] [-baseline file] [-write-baseline file] [packages]
 //
 // Packages are directories relative to the current module, with "./..."
 // expanding to every package in the module (the usual invocation is
 // "mcrlint ./..."). With no arguments it analyzes the whole module.
 //
 // -checks selects a comma-separated subset of the registered checks
-// (default: all). An unknown name is an invocation error (exit 2) with
-// a "did you mean" suggestion — never a silently empty run. -list
-// prints the registered checks and exits.
+// (default: all). An entry ending in a colon selects by analysis
+// substrate instead of by name: "flow:" runs every flow-substrate check,
+// "shape:,interval:" the structural-invariant layer. An unknown name is
+// an invocation error (exit 2) with a "did you mean" suggestion — never
+// a silently empty run; an unknown substrate lists the registered ones.
+// -list prints the registered check names and docs and exits;
+// -list-checks additionally shows each check's substrate.
 //
 // With -baseline, findings recorded in the baseline file are demoted to
 // stderr warnings and do not affect the exit status; only findings
@@ -47,19 +51,18 @@ import (
 func main() {
 	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
-	listChecks := flag.Bool("list", false, "list registered checks and exit")
+	listShort := flag.Bool("list", false, "list registered checks and exit")
+	listLong := flag.Bool("list-checks", false, "list registered checks with their substrate and exit")
 	baseline := flag.String("baseline", "", "demote findings recorded in this baseline file to warnings")
 	writeBaseline := flag.String("write-baseline", "", "record current findings to this file and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: mcrlint [-json] [-list] [-checks names] [-baseline file] [-write-baseline file] [packages]\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: mcrlint [-json] [-list] [-list-checks] [-checks names] [-baseline file] [-write-baseline file] [packages]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
-	if *listChecks {
-		for _, a := range analysis.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
-		}
+	if *listShort || *listLong {
+		fmt.Print(listChecks(*listLong))
 		return
 	}
 	os.Exit(run(flag.Args(), *jsonOut, *checks, *baseline, *writeBaseline))
@@ -177,10 +180,25 @@ func run(args []string, jsonOut bool, checks, baseline, writeBaseline string) in
 	return 0
 }
 
+// listChecks renders the check registry; withSubstrate adds the
+// substrate column (-list-checks).
+func listChecks(withSubstrate bool) string {
+	var sb strings.Builder
+	for _, a := range analysis.All() {
+		if withSubstrate {
+			fmt.Fprintf(&sb, "%-14s %-9s %s\n", a.Name, a.Substrate, a.Doc)
+		} else {
+			fmt.Fprintf(&sb, "%-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	return sb.String()
+}
+
 // selectChecks resolves a comma-separated -checks value to analyzers.
-// The empty spec selects every registered check; an unknown name is an
-// error carrying a "did you mean" suggestion, so a typo can never run
-// an empty check set and exit 0 vacuously.
+// The empty spec selects every registered check; an entry ending in a
+// colon ("flow:") selects every check on that substrate; an unknown name
+// is an error carrying a "did you mean" suggestion, so a typo can never
+// run an empty check set and exit 0 vacuously.
 func selectChecks(spec string) ([]*analysis.Analyzer, error) {
 	all := analysis.All()
 	if strings.TrimSpace(spec) == "" {
@@ -192,9 +210,29 @@ func selectChecks(spec string) ([]*analysis.Analyzer, error) {
 	}
 	var sel []*analysis.Analyzer
 	seen := map[string]bool{}
+	add := func(a *analysis.Analyzer) {
+		if !seen[a.Name] {
+			seen[a.Name] = true
+			sel = append(sel, a)
+		}
+	}
 	for _, name := range strings.Split(spec, ",") {
 		name = strings.TrimSpace(name)
 		if name == "" {
+			continue
+		}
+		if sub, isSubstrate := strings.CutSuffix(name, ":"); isSubstrate {
+			matched := false
+			for _, a := range all {
+				if a.Substrate == sub {
+					add(a)
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("unknown substrate %q; registered substrates: %s",
+					sub, strings.Join(substrates(all), ", "))
+			}
 			continue
 		}
 		a, ok := byName[name]
@@ -205,15 +243,26 @@ func selectChecks(spec string) ([]*analysis.Analyzer, error) {
 			}
 			return nil, fmt.Errorf("%s; run mcrlint -list for the registered checks", msg)
 		}
-		if !seen[name] {
-			seen[name] = true
-			sel = append(sel, a)
-		}
+		add(a)
 	}
 	if len(sel) == 0 {
 		return nil, fmt.Errorf("-checks %q selects no checks", spec)
 	}
 	return sel, nil
+}
+
+// substrates lists the distinct substrate names, sorted.
+func substrates(all []*analysis.Analyzer) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range all {
+		if !seen[a.Substrate] {
+			seen[a.Substrate] = true
+			out = append(out, a.Substrate)
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 // nearestCheck suggests the registered check closest to name, when the

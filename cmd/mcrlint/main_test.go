@@ -77,6 +77,65 @@ func TestSelectChecksAllSeparators(t *testing.T) {
 	}
 }
 
+func TestSelectChecksSubstratePrefix(t *testing.T) {
+	sel, err := selectChecks("flow:")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) == 0 {
+		t.Fatal("flow: selected no checks")
+	}
+	for _, a := range sel {
+		if a.Substrate != "flow" {
+			t.Fatalf("flow: selected %s (substrate %s)", a.Name, a.Substrate)
+		}
+	}
+}
+
+func TestSelectChecksSubstrateMixedWithNames(t *testing.T) {
+	sel, err := selectChecks("shape:,timingrange,snapshotcover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, a := range sel {
+		if names[a.Name] {
+			t.Fatalf("check %s selected twice", a.Name)
+		}
+		names[a.Name] = true
+	}
+	// snapshotcover rides the shape: prefix; enumswitch comes with it;
+	// timingrange is named explicitly.
+	for _, want := range []string{"snapshotcover", "enumswitch", "timingrange"} {
+		if !names[want] {
+			t.Fatalf("expected %s in selection, got %v", want, names)
+		}
+	}
+}
+
+func TestSelectChecksUnknownSubstrate(t *testing.T) {
+	_, err := selectChecks("flo:")
+	if err == nil {
+		t.Fatal("unknown substrate accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `unknown substrate "flo"`) || !strings.Contains(msg, "shape") {
+		t.Fatalf("error missing the registered-substrate listing: %s", msg)
+	}
+}
+
+func TestListChecksShowsSubstrates(t *testing.T) {
+	long := listChecks(true)
+	for _, want := range []string{"snapshotcover", "timingrange", "enumswitch", "shape", "interval", "flow", "heap", "syntax"} {
+		if !strings.Contains(long, want) {
+			t.Fatalf("-list-checks output missing %q:\n%s", want, long)
+		}
+	}
+	if short := listChecks(false); strings.Contains(short, "interval ") {
+		t.Fatalf("-list output unexpectedly carries a substrate column:\n%s", short)
+	}
+}
+
 func TestRunUnknownCheckExitsTwo(t *testing.T) {
 	var code int
 	stderr := captureStderr(t, func() {
@@ -157,10 +216,11 @@ func TestAllowSuppressedFindingIsNotStale(t *testing.T) {
 }
 
 // fullRepoBudget bounds one run of every registered check over the whole
-// module (the CI invocation). BenchmarkMcrlintFullRepo measures ~3s on
-// the reference machine (recorded in EXPERIMENTS.md); the budget is an
-// order of magnitude above that, so only a complexity regression in the
-// analyzers — not runner jitter — can trip it.
+// module (the CI invocation). BenchmarkMcrlintFullRepo measures ~3.6s on
+// the reference machine (recorded in EXPERIMENTS.md) with all fourteen
+// checks — syntax, flow, heap, shape and interval substrates; the budget
+// is an order of magnitude above that, so only a complexity regression
+// in the analyzers — not runner jitter — can trip it.
 const fullRepoBudget = 30 * time.Second
 
 func TestMcrlintFullRepoWallTimeBudget(t *testing.T) {

@@ -28,9 +28,10 @@ import (
 
 // CaptureRace is the goroutine capture/shared-write check.
 var CaptureRace = &Analyzer{
-	Name: "capturerace",
-	Doc:  "no goroutine in runplan/controller capturing loop variables or writing shared state lock-free",
-	Run:  runCaptureRace,
+	Name:      "capturerace",
+	Substrate: "flow",
+	Doc:       "no goroutine in runplan/controller capturing loop variables or writing shared state lock-free",
+	Run:       runCaptureRace,
 }
 
 func runCaptureRace(pass *Pass) {

@@ -22,9 +22,10 @@ import (
 
 // Determinism is the determinism check.
 var Determinism = &Analyzer{
-	Name: "determinism",
-	Doc:  "no wall-clock time, unseeded math/rand, or map-order-dependent output in simulation packages",
-	Run:  runDeterminism,
+	Name:      "determinism",
+	Substrate: "syntax",
+	Doc:       "no wall-clock time, unseeded math/rand, or map-order-dependent output in simulation packages",
+	Run:       runDeterminism,
 }
 
 // globalRandFuncs draw from (or reseed) the global math/rand source.

@@ -65,6 +65,8 @@ const (
 // Check returns the mcrlint check name enforcing the kind on hot paths.
 func (k Kind) Check() string {
 	switch k {
+	case KindAlloc:
+		return "hotalloc"
 	case KindBox:
 		return "hotbox"
 	case KindBlock:

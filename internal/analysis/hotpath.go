@@ -34,28 +34,33 @@ const hotpathPrefix = "mcrlint:hotpath"
 
 // HotAlloc flags heap allocations reachable from hot-path roots.
 var HotAlloc = &Analyzer{
-	Name: "hotalloc",
-	Doc:  "no heap allocation (escaping literal, make, append growth, closure) reachable from a //mcrlint:hotpath root",
-	Run:  func(p *Pass) { runHot(p, heap.KindAlloc) },
+	Name:      "hotalloc",
+	Substrate: "heap",
+	Doc:       "no heap allocation (escaping literal, make, append growth, closure) reachable from a //mcrlint:hotpath root",
+	Run:       func(p *Pass) { runHot(p, heap.KindAlloc) },
 }
 
 // HotBox flags value-to-interface boxing reachable from hot-path roots.
 var HotBox = &Analyzer{
-	Name: "hotbox",
-	Doc:  "no value-to-interface boxing (conversion, variadic any, method value) reachable from a //mcrlint:hotpath root",
-	Run:  func(p *Pass) { runHot(p, heap.KindBox) },
+	Name:      "hotbox",
+	Substrate: "heap",
+	Doc:       "no value-to-interface boxing (conversion, variadic any, method value) reachable from a //mcrlint:hotpath root",
+	Run:       func(p *Pass) { runHot(p, heap.KindBox) },
 }
 
 // HotLock flags blocking operations reachable from hot-path roots.
 var HotLock = &Analyzer{
-	Name: "hotlock",
-	Doc:  "no blocking operation (lock, channel, sleep, syscall-backed I/O) reachable from a //mcrlint:hotpath root",
-	Run:  func(p *Pass) { runHot(p, heap.KindBlock) },
+	Name:      "hotlock",
+	Substrate: "heap",
+	Doc:       "no blocking operation (lock, channel, sleep, syscall-backed I/O) reachable from a //mcrlint:hotpath root",
+	Run:       func(p *Pass) { runHot(p, heap.KindBlock) },
 }
 
 // hotContract phrases the promise each kind enforces.
 func hotContract(k heap.Kind) string {
 	switch k {
+	case heap.KindAlloc:
+		return "the per-cycle hot path must stay allocation-free"
 	case heap.KindBox:
 		return "hot-path dispatch must not box values into interfaces"
 	case heap.KindBlock:

@@ -1,0 +1,473 @@
+// The abstract interpreter: expression evaluation, statement transfer,
+// branch refinement, and the widening worklist fixpoint over flow.New's
+// CFG. Block entry environments join the predecessors' exits, each
+// refined by the branch condition on that edge (the flow CFG stores a
+// branch's condition as the last node of the deciding block, and labels
+// the true/false successors if.then/if.else, for.body/for.after).
+
+package interval
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/flow"
+)
+
+// Analysis is the fixpoint result for one function body.
+type Analysis struct {
+	Info *types.Info
+	cfg  *flow.CFG
+	in   map[*flow.Block]Env
+}
+
+// maxVisits bounds per-block iterations before widening kicks in.
+const maxVisits = 8
+
+// Analyze runs the interval interpretation over body.
+func Analyze(info *types.Info, body *ast.BlockStmt) *Analysis {
+	a := &Analysis{Info: info, cfg: flow.New(body), in: map[*flow.Block]Env{}}
+	a.solve()
+	return a
+}
+
+func (a *Analysis) solve() {
+	out := map[*flow.Block]Env{}
+	visits := map[*flow.Block]int{}
+	work := []*flow.Block{a.cfg.Entry}
+	a.in[a.cfg.Entry] = NewEnv()
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		env := a.in[b].clone()
+		for _, n := range b.Nodes {
+			a.transfer(n, env)
+		}
+		if prev, ok := out[b]; ok && prev.equal(env) {
+			continue
+		}
+		out[b] = env
+		for _, succ := range b.Succs {
+			next := a.edgeEnv(b, succ, env)
+			joined := next
+			if prev, ok := a.in[succ]; ok {
+				joined = joinEnv(prev, next)
+			}
+			visits[succ]++
+			if visits[succ] > maxVisits {
+				joined = widen(a.in[succ], joined)
+			}
+			if prev, ok := a.in[succ]; !ok || !prev.equal(joined) {
+				a.in[succ] = joined
+				work = append(work, succ)
+			}
+		}
+	}
+}
+
+// widen drops any interval bound that is still moving to its infinity;
+// relational facts need no widening (joins only ever shrink the set).
+func widen(prev, next Env) Env {
+	out := next.clone()
+	for k, nv := range next.vals {
+		pv, ok := prev.vals[k]
+		if !ok {
+			continue
+		}
+		w := nv
+		if nv.Lo < pv.Lo {
+			w.Lo = typeRangeOf(k.Type()).Lo
+		}
+		if nv.Hi > pv.Hi {
+			w.Hi = typeRangeOf(k.Type()).Hi
+		}
+		out.vals[k] = w
+	}
+	return out
+}
+
+// edgeEnv refines the exit environment of pred along the edge to succ,
+// when pred ends in a boolean condition and succ is a labeled branch
+// target of it.
+func (a *Analysis) edgeEnv(pred, succ *flow.Block, env Env) Env {
+	if len(pred.Nodes) == 0 {
+		return env
+	}
+	cond, ok := pred.Nodes[len(pred.Nodes)-1].(ast.Expr)
+	if !ok {
+		return env
+	}
+	if t := a.Info.TypeOf(cond); t == nil || t.Underlying() == nil {
+		return env
+	} else if b, ok := t.Underlying().(*types.Basic); !ok || b.Info()&types.IsBoolean == 0 {
+		return env
+	}
+	var truth bool
+	switch succ.Kind {
+	case "if.then", "for.body":
+		truth = true
+	case "if.else", "for.after", "if.after":
+		// if.after is the false successor only for a condition block of an
+		// else-less if; a then-block jumping to if.after carries no
+		// condition as its last node, so the type check above filters it.
+		truth = false
+	default:
+		return env
+	}
+	refined := env.clone()
+	a.refine(cond, truth, refined)
+	return refined
+}
+
+// refine narrows env under the assumption cond == truth.
+func (a *Analysis) refine(cond ast.Expr, truth bool, env Env) {
+	switch c := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if c.Op == token.NOT {
+			a.refine(c.X, !truth, env)
+		}
+	case *ast.BinaryExpr:
+		switch c.Op {
+		case token.LAND:
+			if truth {
+				a.refine(c.X, true, env)
+				a.refine(c.Y, true, env)
+			}
+		case token.LOR:
+			if !truth {
+				a.refine(c.X, false, env)
+				a.refine(c.Y, false, env)
+			}
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+			a.refineCmp(c, truth, env)
+		}
+	}
+}
+
+// refineCmp narrows the operands of an integer comparison.
+func (a *Analysis) refineCmp(cmp *ast.BinaryExpr, truth bool, env Env) {
+	op := cmp.Op
+	if !truth {
+		op = negateCmp(op)
+	}
+	x, y := cmp.X, cmp.Y
+	xi, yi := a.Eval(x, env), a.Eval(y, env)
+	// Normalize to x OP y with OP in {<, <=, ==}; > and >= swap sides.
+	switch op {
+	case token.GTR:
+		x, y, xi, yi, op = y, x, yi, xi, token.LSS
+	case token.GEQ:
+		x, y, xi, yi, op = y, x, yi, xi, token.LEQ
+	}
+	switch op {
+	case token.LSS: // x < y
+		a.narrow(x, I{Full.Lo, satAdd(yi.Hi, -1)}, env)
+		a.narrow(y, I{satAdd(xi.Lo, 1), Full.Hi}, env)
+		env.addGE(identObj(a.Info, y), identObj(a.Info, x))
+	case token.LEQ: // x <= y
+		a.narrow(x, I{Full.Lo, yi.Hi}, env)
+		a.narrow(y, I{xi.Lo, Full.Hi}, env)
+		env.addGE(identObj(a.Info, y), identObj(a.Info, x))
+	case token.EQL:
+		a.narrow(x, yi, env)
+		a.narrow(y, xi, env)
+		env.addGE(identObj(a.Info, x), identObj(a.Info, y))
+		env.addGE(identObj(a.Info, y), identObj(a.Info, x))
+	case token.NEQ:
+		// Only the endpoints can be trimmed; skip (rarely useful here).
+	}
+}
+
+// negateCmp returns the comparison holding when cmp is false.
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return op
+}
+
+// narrow meets the variable behind e (if e is a plain identifier of
+// integer type) with bound.
+func (a *Analysis) narrow(e ast.Expr, bound I, env Env) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := a.Info.ObjectOf(id)
+	if obj == nil || !IsInteger(obj.Type()) {
+		return
+	}
+	m := env.Of(obj).meet(bound)
+	if m.Empty() {
+		// Contradictory path (dead branch): keep the bound rather than an
+		// empty interval so later joins stay sane.
+		m = bound.meet(typeRangeOf(obj.Type()))
+	}
+	env.set(obj, m)
+}
+
+// transfer applies one CFG node to env.
+func (a *Analysis) transfer(n ast.Node, env Env) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		a.assign(n, env)
+	case *ast.IncDecStmt:
+		if obj := identObj(a.Info, n.X); obj != nil && IsInteger(obj.Type()) {
+			d := Single(1)
+			if n.Tok == token.DEC {
+				d = Single(-1)
+			}
+			next := env.Of(obj).Add(d).meet(typeRangeOf(obj.Type()))
+			env.kill(obj)
+			env.set(obj, next)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					obj := a.Info.ObjectOf(name)
+					if obj == nil || !IsInteger(obj.Type()) {
+						continue
+					}
+					if len(vs.Values) == len(vs.Names) {
+						env.set(obj, a.Eval(vs.Values[i], env))
+					} else if len(vs.Values) == 0 {
+						env.set(obj, Single(0)) // var x T zero-initializes
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		// Loop variables: an integer key over a slice/array/string/map is
+		// a non-negative index; an integer range-over-int value likewise.
+		if obj := identObj(a.Info, n.Key); obj != nil && IsInteger(obj.Type()) {
+			env.kill(obj)
+			env.set(obj, I{0, Full.Hi}.meet(typeRangeOf(obj.Type())))
+		}
+		if obj := identObj(a.Info, n.Value); obj != nil && IsInteger(obj.Type()) {
+			env.kill(obj)
+		}
+	}
+}
+
+func (a *Analysis) assign(as *ast.AssignStmt, env Env) {
+	// Multi-value RHS (function call, map index): no integer facts.
+	if len(as.Lhs) != len(as.Rhs) {
+		for _, lhs := range as.Lhs {
+			if obj := identObj(a.Info, lhs); obj != nil {
+				env.kill(obj)
+			}
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		obj := identObj(a.Info, lhs)
+		if obj == nil {
+			continue
+		}
+		if !IsInteger(obj.Type()) {
+			env.kill(obj)
+			continue
+		}
+		rhs := a.Eval(as.Rhs[i], env)
+		if op, ok := compoundOp(as.Tok); ok {
+			rhs = binOp(env.Of(obj), op, rhs)
+		}
+		env.kill(obj)
+		env.set(obj, rhs.meet(typeRangeOf(obj.Type())))
+	}
+}
+
+// compoundOp maps `x op= y` tokens to their binary operator.
+func compoundOp(tok token.Token) (token.Token, bool) {
+	switch tok {
+	case token.ADD_ASSIGN:
+		return token.ADD, true
+	case token.SUB_ASSIGN:
+		return token.SUB, true
+	case token.MUL_ASSIGN:
+		return token.MUL, true
+	case token.QUO_ASSIGN:
+		return token.QUO, true
+	case token.REM_ASSIGN:
+		return token.REM, true
+	case token.AND_ASSIGN:
+		return token.AND, true
+	case token.OR_ASSIGN:
+		return token.OR, true
+	case token.XOR_ASSIGN:
+		return token.XOR, true
+	case token.SHL_ASSIGN:
+		return token.SHL, true
+	case token.SHR_ASSIGN:
+		return token.SHR, true
+	}
+	return tok, false
+}
+
+// identObj resolves a plain identifier lvalue to its object.
+func identObj(info *types.Info, e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// Eval computes the interval of an integer-valued expression under env.
+func (a *Analysis) Eval(e ast.Expr, env Env) I {
+	e = ast.Unparen(e)
+	// Constants first: go/types already folded them.
+	if tv, ok := a.Info.Types[e]; ok && tv.Value != nil {
+		if v, ok := constVal(tv.Value); ok {
+			return Single(v)
+		}
+		return a.fullOf(e)
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := a.Info.ObjectOf(e); obj != nil && IsInteger(obj.Type()) {
+			return env.Of(obj)
+		}
+	case *ast.BinaryExpr:
+		return binOp(a.Eval(e.X, env), e.Op, a.Eval(e.Y, env)).meet(a.fullOf(e))
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.SUB:
+			return a.Eval(e.X, env).Neg()
+		case token.ADD:
+			return a.Eval(e.X, env)
+		}
+	case *ast.CallExpr:
+		return a.evalCall(e, env)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return a.fullOf(e)
+	}
+	return a.fullOf(e)
+}
+
+// fullOf is the type-range fallback for an expression.
+func (a *Analysis) fullOf(e ast.Expr) I {
+	if t := a.Info.TypeOf(e); t != nil {
+		return typeRangeOf(t)
+	}
+	return Full
+}
+
+func (a *Analysis) evalCall(call *ast.CallExpr, env Env) I {
+	// Conversion T(x): the value is x clamped by representability; a
+	// value that may not fit wraps, so the result falls to T's range.
+	if tv, ok := a.Info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 && IsInteger(tv.Type) {
+			src := a.Eval(call.Args[0], env)
+			dst := typeRangeOf(tv.Type)
+			if src.Within(dst.Lo, dst.Hi) {
+				return src
+			}
+			return dst
+		}
+		return a.fullOf(call)
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := a.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "len", "cap":
+				return I{0, Full.Hi}
+			case "min":
+				out := a.Eval(call.Args[0], env)
+				for _, arg := range call.Args[1:] {
+					v := a.Eval(arg, env)
+					out = I{min(out.Lo, v.Lo), min(out.Hi, v.Hi)}
+				}
+				return out
+			case "max":
+				out := a.Eval(call.Args[0], env)
+				for _, arg := range call.Args[1:] {
+					v := a.Eval(arg, env)
+					out = I{max(out.Lo, v.Lo), max(out.Hi, v.Hi)}
+				}
+				return out
+			}
+		}
+	}
+	return a.fullOf(call)
+}
+
+// binOp evaluates one integer binary operator over intervals.
+func binOp(x I, op token.Token, y I) I {
+	switch op {
+	case token.ADD:
+		return x.Add(y)
+	case token.SUB:
+		return x.Sub(y)
+	case token.MUL:
+		return x.Mul(y)
+	case token.QUO:
+		return x.Div(y)
+	case token.REM:
+		return x.Rem(y)
+	case token.AND:
+		if x.NonNegative() && y.NonNegative() {
+			return I{0, min(x.Hi, y.Hi)}
+		}
+	case token.OR, token.XOR:
+		if x.NonNegative() && y.NonNegative() {
+			return I{0, satAdd(x.Hi, y.Hi)}
+		}
+	case token.SHR:
+		if x.NonNegative() {
+			return I{0, x.Hi}
+		}
+	case token.SHL:
+		if v, ok := y.Exact(); ok && v >= 0 && v < 63 && x.NonNegative() {
+			return I{satMul(x.Lo, 1<<v), satMul(x.Hi, 1<<v)}
+		}
+	}
+	return Full
+}
+
+// constVal extracts an int64 from a folded constant.
+func constVal(v constant.Value) (int64, bool) {
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+// Walk replays the analysis over every live block in index order,
+// calling fn with each node and its pre-state environment.
+func (a *Analysis) Walk(fn func(n ast.Node, env Env)) {
+	for _, b := range a.cfg.Blocks {
+		if !b.Live {
+			continue
+		}
+		env, ok := a.in[b]
+		if !ok {
+			continue
+		}
+		env = env.clone()
+		for _, n := range b.Nodes {
+			fn(n, env)
+			a.transfer(n, env)
+		}
+	}
+}

@@ -1,0 +1,335 @@
+// Package interval is the value-range layer under mcrlint: a saturating
+// int64 interval domain and a forward abstract interpretation over the
+// flow layer's CFG, with branch refinement on comparison conditions.
+// It exists to answer the timingrange check's questions — "can this
+// unsigned subtraction underflow", "does this narrowing conversion fit"
+// — flow-sensitively, so `if a >= b { c := a - b }` proves itself.
+//
+// The domain is deliberately modest: intervals saturate at ±math.MaxInt64
+// (an unknown uint64 tops out at MaxInt64, which only widens it — sound
+// for every proof the checks attempt), loops are widened after a few
+// iterations, and anything the transfer functions do not understand
+// falls back to the full interval. The analysis can fail to prove a true
+// fact; it never "proves" a false one.
+package interval
+
+import (
+	"go/types"
+	"math"
+)
+
+// I is a closed int64 interval; Lo == math.MinInt64 / Hi == math.MaxInt64
+// act as -inf / +inf.
+type I struct {
+	Lo, Hi int64
+}
+
+// Full is the unbounded interval.
+var Full = I{math.MinInt64, math.MaxInt64}
+
+// Single is the interval holding exactly v.
+func Single(v int64) I { return I{v, v} }
+
+// Empty reports an inverted (unreachable) interval.
+func (i I) Empty() bool { return i.Lo > i.Hi }
+
+// NonNegative reports whether every value of i is >= 0.
+func (i I) NonNegative() bool { return !i.Empty() && i.Lo >= 0 }
+
+// MaybeNegative reports whether i admits a value < 0.
+func (i I) MaybeNegative() bool { return !i.Empty() && i.Lo < 0 }
+
+// Within reports whether i is entirely inside [lo, hi].
+func (i I) Within(lo, hi int64) bool { return !i.Empty() && i.Lo >= lo && i.Hi <= hi }
+
+// Exact returns i's single value, if it has exactly one.
+func (i I) Exact() (int64, bool) { return i.Lo, i.Lo == i.Hi }
+
+// join is the interval union.
+func (i I) join(o I) I {
+	if i.Empty() {
+		return o
+	}
+	if o.Empty() {
+		return i
+	}
+	return I{min(i.Lo, o.Lo), max(i.Hi, o.Hi)}
+}
+
+// meet is the interval intersection (possibly empty).
+func (i I) meet(o I) I { return I{max(i.Lo, o.Lo), min(i.Hi, o.Hi)} }
+
+// satAdd adds with saturation at the infinities.
+func satAdd(a, b int64) int64 {
+	if a == math.MinInt64 || b == math.MinInt64 {
+		return math.MinInt64
+	}
+	if a == math.MaxInt64 || b == math.MaxInt64 {
+		return math.MaxInt64
+	}
+	s := a + b
+	switch {
+	case b > 0 && s < a:
+		return math.MaxInt64
+	case b < 0 && s > a:
+		return math.MinInt64
+	}
+	return s
+}
+
+func satNeg(a int64) int64 {
+	switch a {
+	case math.MinInt64:
+		return math.MaxInt64
+	case math.MaxInt64:
+		return math.MinInt64
+	}
+	return -a
+}
+
+func satMul(a, b int64) int64 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a == math.MinInt64 || a == math.MaxInt64 || b == math.MinInt64 || b == math.MaxInt64 {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	p := a * b
+	if p/b != a {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return p
+}
+
+// Add returns the interval of x+y.
+func (i I) Add(o I) I {
+	if i.Empty() || o.Empty() {
+		return i
+	}
+	return I{satAdd(i.Lo, o.Lo), satAdd(i.Hi, o.Hi)}
+}
+
+// Sub returns the interval of x-y.
+func (i I) Sub(o I) I {
+	if i.Empty() || o.Empty() {
+		return i
+	}
+	return I{satAdd(i.Lo, satNeg(o.Hi)), satAdd(i.Hi, satNeg(o.Lo))}
+}
+
+// Neg returns the interval of -x.
+func (i I) Neg() I {
+	if i.Empty() {
+		return i
+	}
+	return I{satNeg(i.Hi), satNeg(i.Lo)}
+}
+
+// Mul returns the interval of x*y.
+func (i I) Mul(o I) I {
+	if i.Empty() || o.Empty() {
+		return i
+	}
+	c := [4]int64{satMul(i.Lo, o.Lo), satMul(i.Lo, o.Hi), satMul(i.Hi, o.Lo), satMul(i.Hi, o.Hi)}
+	out := I{c[0], c[0]}
+	for _, v := range c[1:] {
+		out.Lo, out.Hi = min(out.Lo, v), max(out.Hi, v)
+	}
+	return out
+}
+
+// Div returns the interval of x/y for a divisor excluding zero where the
+// bounds allow it; full when the divisor straddles zero.
+func (i I) Div(o I) I {
+	if i.Empty() || o.Empty() {
+		return i
+	}
+	if o.Lo <= 0 && o.Hi >= 0 {
+		return Full
+	}
+	c := [4]int64{quo(i.Lo, o.Lo), quo(i.Lo, o.Hi), quo(i.Hi, o.Lo), quo(i.Hi, o.Hi)}
+	out := I{c[0], c[0]}
+	for _, v := range c[1:] {
+		out.Lo, out.Hi = min(out.Lo, v), max(out.Hi, v)
+	}
+	return out
+}
+
+func quo(a, b int64) int64 {
+	if a == math.MinInt64 || a == math.MaxInt64 {
+		if (a > 0) == (b > 0) {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return a / b
+}
+
+// Rem returns the interval of x%y for non-negative x and positive y.
+func (i I) Rem(o I) I {
+	if i.NonNegative() && o.Lo > 0 {
+		hi := o.Hi - 1
+		if o.Hi == math.MaxInt64 {
+			hi = math.MaxInt64
+		}
+		return I{0, min(i.Hi, hi)}
+	}
+	return Full
+}
+
+// TypeRange returns the representable interval of a basic integer type
+// (int/uint/uintptr treated as 64-bit; uint64's top half saturates to
+// MaxInt64, which only ever widens the interval).
+func TypeRange(b *types.Basic) (I, bool) {
+	switch b.Kind() {
+	case types.Int8:
+		return I{math.MinInt8, math.MaxInt8}, true
+	case types.Int16:
+		return I{math.MinInt16, math.MaxInt16}, true
+	case types.Int32, types.UntypedRune:
+		return I{math.MinInt32, math.MaxInt32}, true
+	case types.Int64, types.Int, types.UntypedInt:
+		return Full, true
+	case types.Uint8:
+		return I{0, math.MaxUint8}, true
+	case types.Uint16:
+		return I{0, math.MaxUint16}, true
+	case types.Uint32:
+		return I{0, math.MaxUint32}, true
+	case types.Uint64, types.Uint, types.Uintptr:
+		return I{0, math.MaxInt64}, true
+	}
+	return Full, false
+}
+
+// IsUnsigned reports whether t's core type is an unsigned integer.
+func IsUnsigned(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsUnsigned != 0
+}
+
+// IsInteger reports whether t's core type is any integer.
+func IsInteger(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pair is an ordered relational fact: first >= second.
+type pair struct{ a, b types.Object }
+
+// Env is the abstract state at a program point: an interval per known
+// integer variable (absent variables default to their type's range) plus
+// a set of relational facts x >= y. The relational half is what lets a
+// guard like `if a >= b` prove `a - b` non-negative — pure intervals
+// lose the correlation between the operands.
+type Env struct {
+	vals map[types.Object]I
+	ge   map[pair]bool
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() Env {
+	return Env{vals: map[types.Object]I{}, ge: map[pair]bool{}}
+}
+
+func (e Env) clone() Env {
+	out := Env{vals: make(map[types.Object]I, len(e.vals)), ge: make(map[pair]bool, len(e.ge))}
+	for k, v := range e.vals {
+		out.vals[k] = v
+	}
+	for k := range e.ge {
+		out.ge[k] = true
+	}
+	return out
+}
+
+// Of returns obj's interval, falling back to its type range.
+func (e Env) Of(obj types.Object) I {
+	if i, ok := e.vals[obj]; ok {
+		return i
+	}
+	return typeRangeOf(obj.Type())
+}
+
+// GE reports whether a >= b is a known fact.
+func (e Env) GE(a, b types.Object) bool {
+	return a != nil && (a == b || e.ge[pair{a, b}])
+}
+
+// set records obj's interval.
+func (e Env) set(obj types.Object, i I) { e.vals[obj] = i }
+
+// addGE records a >= b.
+func (e Env) addGE(a, b types.Object) {
+	if a != nil && b != nil && a != b {
+		e.ge[pair{a, b}] = true
+	}
+}
+
+// kill forgets everything about obj: its interval and every relational
+// fact it participates in (any write may invalidate both).
+func (e Env) kill(obj types.Object) {
+	delete(e.vals, obj)
+	for p := range e.ge {
+		if p.a == obj || p.b == obj {
+			delete(e.ge, p)
+		}
+	}
+}
+
+func typeRangeOf(t types.Type) I {
+	if b, ok := t.Underlying().(*types.Basic); ok {
+		if r, ok := TypeRange(b); ok {
+			return r
+		}
+	}
+	return Full
+}
+
+// equal reports env equality for the fixpoint test.
+func (e Env) equal(o Env) bool {
+	if len(e.vals) != len(o.vals) || len(e.ge) != len(o.ge) {
+		return false
+	}
+	for k, v := range e.vals {
+		if ov, ok := o.vals[k]; !ok || ov != v {
+			return false
+		}
+	}
+	for k := range e.ge {
+		if !o.ge[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// joinEnv joins two environments: interval union variable-wise (a
+// variable missing on either side falls back to its type range, which
+// absorbs the join) and relational intersection.
+func joinEnv(a, b Env) Env {
+	if a.vals == nil {
+		return b.clone()
+	}
+	out := NewEnv()
+	for k, v := range a.vals {
+		if bv, ok := b.vals[k]; ok {
+			j := v.join(bv)
+			if j != typeRangeOf(k.Type()) {
+				out.vals[k] = j
+			}
+		}
+	}
+	for p := range a.ge {
+		if b.ge[p] {
+			out.ge[p] = true
+		}
+	}
+	return out
+}

@@ -20,9 +20,10 @@ import (
 
 // LockScope is the lock-across-blocking-operation check.
 var LockScope = &Analyzer{
-	Name: "lockscope",
-	Doc:  "no mutex held across channel operations, ctx waits, sim.Run, or the controller MRS drain",
-	Run:  runLockScope,
+	Name:      "lockscope",
+	Substrate: "flow",
+	Doc:       "no mutex held across channel operations, ctx waits, sim.Run, or the controller MRS drain",
+	Run:       runLockScope,
 }
 
 func runLockScope(pass *Pass) {

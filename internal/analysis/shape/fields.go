@@ -1,0 +1,194 @@
+// The field-use collector: given a call closure, which struct fields
+// does it reference, write, or overwrite wholesale? Uses are keyed by
+// the field's *types.Var — the loader memoizes packages, so the same
+// field resolves to the same object from every pass — which makes the
+// analysis path-insensitive: a write through an alias (`b := &d.banks[i];
+// b.row = r`) still lands on the bank.row field object.
+
+package shape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/flow"
+)
+
+// Use records how a closure touches one field.
+type Use struct {
+	// Ref: the field is referenced at all — read, written, or named as a
+	// composite-literal key. In an import closure this is coverage.
+	Ref bool
+	// Write: the field (or an element reached through it) is assigned,
+	// address-taken, or receiver of a mutating method. In a run closure
+	// this is mutability.
+	Write bool
+	// Whole: the field itself is the direct target of a plain `=`
+	// assignment or a composite-literal key — the subtree behind it is
+	// rebuilt wholesale, so its own fields need no individual coverage.
+	Whole bool
+}
+
+// FieldUses walks the bodies of fns and aggregates every field use.
+func (s *Store) FieldUses(fns []*types.Func) map[*types.Var]*Use {
+	uses := map[*types.Var]*Use{}
+	for _, fn := range fns {
+		pkg, decl := s.pkgOf(fn), s.Decl(fn)
+		if pkg == nil || decl == nil {
+			continue
+		}
+		s.fieldUsesIn(pkg, decl, uses)
+	}
+	return uses
+}
+
+func use(uses map[*types.Var]*Use, fv *types.Var) *Use {
+	u := uses[fv]
+	if u == nil {
+		u = &Use{}
+		uses[fv] = u
+	}
+	return u
+}
+
+func (s *Store) fieldUsesIn(pkg *flow.Pkg, decl *ast.FuncDecl, uses map[*types.Var]*Use) {
+	markWrite := func(e ast.Expr, whole bool) {
+		if fv := rootField(pkg.Info, e); fv != nil {
+			u := use(uses, fv)
+			u.Ref, u.Write = true, true
+			if whole {
+				if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok && fieldVar(pkg.Info, sel) == fv {
+					u.Whole = true
+				}
+			}
+		}
+	}
+	ast.Inspect(decl, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fv := fieldVar(pkg.Info, n); fv != nil {
+				use(uses, fv).Ref = true
+			}
+		case *ast.CompositeLit:
+			s.literalUses(pkg, n, uses)
+		case *ast.AssignStmt:
+			whole := n.Tok == token.ASSIGN
+			for _, lhs := range n.Lhs {
+				markWrite(lhs, whole)
+			}
+		case *ast.IncDecStmt:
+			markWrite(n.X, false)
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				markWrite(n.X, false)
+			}
+		case *ast.CallExpr:
+			s.callUses(pkg, n, uses, markWrite)
+		}
+		return true
+	})
+}
+
+// literalUses marks composite-literal field coverage: named keys cover
+// the named fields; a positional struct literal covers every field.
+// Either way the field's value is supplied as a unit, so coverage is
+// wholesale — `request{addr: r.Addr}` rebuilds addr's whole subtree.
+func (s *Store) literalUses(pkg *flow.Pkg, lit *ast.CompositeLit, uses map[*types.Var]*Use) {
+	named := NamedOf(pkg.Info.TypeOf(lit))
+	st := StructOf(named)
+	if st == nil || len(lit.Elts) == 0 {
+		return
+	}
+	wholeRef := func(fv *types.Var) {
+		u := use(uses, fv)
+		u.Ref, u.Whole = true, true
+	}
+	positional := true
+	for _, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			positional = false
+			if id, ok := kv.Key.(*ast.Ident); ok {
+				if fv, ok := pkg.Info.Uses[id].(*types.Var); ok && fv.IsField() {
+					wholeRef(fv)
+				}
+			}
+		}
+	}
+	if positional {
+		for i := 0; i < st.NumFields(); i++ {
+			wholeRef(st.Field(i))
+		}
+	}
+}
+
+// callUses handles the two call-shaped writes: builtin copy into a
+// field-rooted destination, and a pointer-receiver method invoked on a
+// value-typed field (the implicit &x.f).
+func (s *Store) callUses(pkg *flow.Pkg, call *ast.CallExpr, uses map[*types.Var]*Use, markWrite func(ast.Expr, bool)) {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "copy" && len(call.Args) == 2 {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			markWrite(call.Args[0], false)
+		}
+		return
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selc, ok := pkg.Info.Selections[sel]
+	if !ok || selc.Kind() != types.MethodVal {
+		return
+	}
+	fn, ok := selc.Obj().(*types.Func)
+	if !ok {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	if _, ptrRecv := sig.Recv().Type().(*types.Pointer); !ptrRecv {
+		return
+	}
+	if fv := rootField(pkg.Info, sel.X); fv != nil {
+		if _, fieldIsPtr := fv.Type().Underlying().(*types.Pointer); !fieldIsPtr {
+			// Pointer-typed fields are mutated inside the method (already
+			// in the closure); value-typed ones are written through the
+			// implicit address-of right here.
+			u := use(uses, fv)
+			u.Ref, u.Write = true, true
+		}
+	}
+}
+
+// fieldVar resolves a selector to the struct field it selects, or nil.
+func fieldVar(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if fv, ok := s.Obj().(*types.Var); ok {
+			return fv
+		}
+	}
+	return nil
+}
+
+// rootField descends through index, slice, star and paren wrappers to
+// the outermost field selection of an lvalue-ish expression.
+func rootField(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			return fieldVar(info, x)
+		default:
+			return nil
+		}
+	}
+}

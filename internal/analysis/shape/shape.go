@@ -1,0 +1,385 @@
+// Package shape is the struct-shape layer under mcrlint: a model of the
+// module's named struct types, their fields, and the call closures that
+// read or write them. It answers the questions the snapshot-coverage and
+// enum-exhaustiveness checks ask — "which fields can the cycle loop
+// mutate", "which fields does the restore path provably write", "which
+// named constants inhabit this enum type" — on the same stdlib-only
+// substrate as the rest of internal/analysis (go/ast + go/types, no
+// x/tools).
+//
+// Interface dispatch is resolved by class-hierarchy analysis over the
+// module universe: every module-internal named type implementing the
+// interface contributes its method to the closure. That is deliberately
+// an over-approximation — for coverage it can only hide true gaps when
+// the import path itself dispatches somewhere unexpected, and for
+// mutability an extra callee can only add findings, never mask one.
+//
+// A field is excused from snapshot coverage with a
+//
+//	//mcrlint:nosnapshot <reason>
+//
+// directive on the field's declaration line or the line directly above.
+// The reason is mandatory; an empty one is itself a diagnostic.
+package shape
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/flow"
+)
+
+// Store computes and caches shape facts for one loaded module. Resolve
+// maps an import path to its loaded package (nil outside the module),
+// exactly like flow.Store's resolver — the analysis loader shares one
+// instance across every pass, so closures over cross-package types see
+// identical *types.Var objects everywhere.
+type Store struct {
+	Resolve func(path string) *flow.Pkg
+
+	decls  map[string]map[*types.Func]*ast.FuncDecl
+	nosnap map[string]map[int]string // filename -> line -> reason
+	nosDne map[string]bool           // package paths already scanned for directives
+}
+
+// NewStore builds a shape store over resolve.
+func NewStore(resolve func(path string) *flow.Pkg) *Store {
+	return &Store{
+		Resolve: resolve,
+		decls:   map[string]map[*types.Func]*ast.FuncDecl{},
+		nosnap:  map[string]map[int]string{},
+		nosDne:  map[string]bool{},
+	}
+}
+
+// Universe returns root and every module-internal package reachable
+// through its imports, sorted by path — the deterministic scope for
+// class-hierarchy analysis and directive collection.
+func (s *Store) Universe(root *types.Package) []*types.Package {
+	seen := map[string]*types.Package{}
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if p == nil || seen[p.Path()] != nil || s.Resolve(p.Path()) == nil {
+			return
+		}
+		seen[p.Path()] = p
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(root)
+	paths := make([]string, 0, len(seen))
+	for path := range seen {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	out := make([]*types.Package, len(paths))
+	for i, path := range paths {
+		out[i] = seen[path]
+	}
+	return out
+}
+
+// Implementations returns the named non-interface types of the universe
+// that implement iface (directly or through a pointer receiver), sorted
+// by qualified name.
+func (s *Store) Implementations(universe []*types.Package, iface *types.Interface) []*types.Named {
+	var impls []*types.Named
+	for _, pkg := range universe {
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			if types.Implements(named, iface) || types.Implements(types.NewPointer(named), iface) {
+				impls = append(impls, named)
+			}
+		}
+	}
+	sort.Slice(impls, func(i, j int) bool {
+		return impls[i].Obj().Pkg().Path()+"."+impls[i].Obj().Name() <
+			impls[j].Obj().Pkg().Path()+"."+impls[j].Obj().Name()
+	})
+	return impls
+}
+
+// declIndex lazily maps a package's *types.Func objects to their decls.
+func (s *Store) declIndex(path string, pkg *flow.Pkg) map[*types.Func]*ast.FuncDecl {
+	if idx, ok := s.decls[path]; ok {
+		return idx
+	}
+	idx := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					idx[fn] = fd
+				}
+			}
+		}
+	}
+	s.decls[path] = idx
+	return idx
+}
+
+// Decl returns fn's declaration, or nil when its package is outside the
+// module or the function has no analyzable body.
+func (s *Store) Decl(fn *types.Func) *ast.FuncDecl {
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	pkg := s.Resolve(fn.Pkg().Path())
+	if pkg == nil {
+		return nil
+	}
+	return s.declIndex(fn.Pkg().Path(), pkg)[fn]
+}
+
+// pkgOf returns the loaded package holding fn.
+func (s *Store) pkgOf(fn *types.Func) *flow.Pkg {
+	if fn.Pkg() == nil {
+		return nil
+	}
+	return s.Resolve(fn.Pkg().Path())
+}
+
+// Closure returns the call closure of roots: every module function
+// reachable through static calls, interface dispatch (CHA over the
+// universe) or escape to an unresolvable callee (an argument whose
+// module type hands all its methods to the unknown code — the
+// container/heap pattern), in deterministic order.
+func (s *Store) Closure(universe []*types.Package, roots ...*types.Func) []*types.Func {
+	inSet := map[*types.Func]bool{}
+	var order []*types.Func
+	var work []*types.Func
+	add := func(fn *types.Func) {
+		if fn == nil || inSet[fn] || s.Decl(fn) == nil {
+			return
+		}
+		inSet[fn] = true
+		order = append(order, fn)
+		work = append(work, fn)
+	}
+	for _, r := range roots {
+		add(r)
+	}
+	for len(work) > 0 {
+		fn := work[len(work)-1]
+		work = work[:len(work)-1]
+		pkg, decl := s.pkgOf(fn), s.Decl(fn)
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, callee := range s.callees(pkg, universe, call) {
+				add(callee)
+			}
+			return true
+		})
+	}
+	return order
+}
+
+// callees resolves one call site to its possible module callees.
+func (s *Store) callees(pkg *flow.Pkg, universe []*types.Package, call *ast.CallExpr) []*types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := pkg.Info.Uses[fun].(*types.Func); ok {
+			return []*types.Func{fn}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			if iface, ok := sel.Recv().Underlying().(*types.Interface); ok {
+				return s.dispatch(universe, iface, fun.Sel.Name)
+			}
+		}
+		if fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func); ok {
+			if s.Decl(fn) != nil {
+				return []*types.Func{fn}
+			}
+			// Unresolvable callee (stdlib): its body is invisible, so any
+			// module-typed argument escapes — hand over all its methods
+			// (container/heap driving a module heap.Interface impl).
+			return s.escapees(pkg, call)
+		}
+	}
+	return nil
+}
+
+// dispatch is the CHA resolution of an interface method call.
+func (s *Store) dispatch(universe []*types.Package, iface *types.Interface, method string) []*types.Func {
+	var out []*types.Func
+	for _, named := range s.Implementations(universe, iface) {
+		obj, _, _ := types.LookupFieldOrMethod(types.NewPointer(named), true, named.Obj().Pkg(), method)
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	return out
+}
+
+// escapees returns every method of every module named type appearing
+// among the call's arguments (deref'd), for calls into invisible code.
+func (s *Store) escapees(pkg *flow.Pkg, call *ast.CallExpr) []*types.Func {
+	var out []*types.Func
+	for _, arg := range call.Args {
+		t := pkg.Info.TypeOf(arg)
+		named := NamedOf(t)
+		if named == nil || named.Obj().Pkg() == nil || s.Resolve(named.Obj().Pkg().Path()) == nil {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			out = append(out, named.Method(i))
+		}
+	}
+	return out
+}
+
+// NamedOf unwraps pointers, slices, arrays and map values down to a
+// named type, or nil.
+func NamedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Named:
+			return u
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Slice:
+			t = u.Elem()
+		case *types.Array:
+			t = u.Elem()
+		case *types.Map:
+			t = u.Elem()
+		default:
+			return nil
+		}
+	}
+}
+
+// StructOf returns the named type's underlying struct, or nil.
+func StructOf(named *types.Named) *types.Struct {
+	if named == nil {
+		return nil
+	}
+	st, _ := named.Underlying().(*types.Struct)
+	return st
+}
+
+// EnumConsts returns the package-scope constants declared with exactly
+// the named type, sorted by name — the value universe of a closed enum.
+func EnumConsts(named *types.Named) []*types.Const {
+	if named.Obj().Pkg() == nil {
+		return nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), named) {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// IsSentinelConst reports whether a constant's name marks it as an
+// enum-bound sentinel (numCmds, NumStallComponents, kindSentinel),
+// excluded from the closed value set a switch must cover.
+func IsSentinelConst(name string) bool {
+	return strings.HasPrefix(name, "num") || strings.HasPrefix(name, "Num") ||
+		strings.HasSuffix(name, "Sentinel")
+}
+
+// nosnapshotPrefix marks a field as deliberately outside snapshot
+// coverage.
+const nosnapshotPrefix = "mcrlint:nosnapshot"
+
+// collectNosnapshot scans one package's comments for nosnapshot
+// directives, indexed by file and line.
+func (s *Store) collectNosnapshot(path string, pkg *flow.Pkg) {
+	if s.nosDne[path] {
+		return
+	}
+	s.nosDne[path] = true
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, nosnapshotPrefix)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := s.nosnap[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]string{}
+					s.nosnap[pos.Filename] = byLine
+				}
+				reason := strings.TrimSpace(strings.TrimSuffix(rest, "*/"))
+				// A nested "//" starts a comment-in-comment (fixture want
+				// markers, trailing notes), not part of the reason.
+				if i := strings.Index(reason, "//"); i >= 0 {
+					reason = strings.TrimSpace(reason[:i])
+				}
+				byLine[pos.Line] = reason
+			}
+		}
+	}
+}
+
+// Directive is one //mcrlint:nosnapshot occurrence.
+type Directive struct {
+	Pos    token.Position
+	Reason string
+}
+
+// Nosnapshot reports the directive excusing a declaration at pos — on
+// its line or the line directly above — after ensuring every universe
+// package's directives are collected.
+func (s *Store) Nosnapshot(universe []*types.Package, pos token.Position) (Directive, bool) {
+	s.collectUniverse(universe)
+	if byLine, ok := s.nosnap[pos.Filename]; ok {
+		for _, line := range []int{pos.Line, pos.Line - 1} {
+			if reason, ok := byLine[line]; ok {
+				return Directive{Pos: token.Position{Filename: pos.Filename, Line: line}, Reason: reason}, true
+			}
+		}
+	}
+	return Directive{}, false
+}
+
+// Directives returns every nosnapshot directive in the universe, sorted,
+// so the check can demand a reason on each.
+func (s *Store) Directives(universe []*types.Package) []Directive {
+	s.collectUniverse(universe)
+	var out []Directive
+	for file, byLine := range s.nosnap {
+		for line, reason := range byLine {
+			out = append(out, Directive{Pos: token.Position{Filename: file, Line: line}, Reason: reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+func (s *Store) collectUniverse(universe []*types.Package) {
+	for _, pkg := range universe {
+		if p := s.Resolve(pkg.Path()); p != nil {
+			s.collectNosnapshot(pkg.Path(), p)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+// The canary: prove snapshotcover actually catches the failure mode it
+// exists for. A copy of the snapshotcover fixture gets a brand-new field
+// injected into a state struct plus a cycle-loop write — exactly what a
+// future PR adding simulator state looks like — and the check must flag
+// it. The negative variant adds the nosnapshot annotation a deliberate
+// exclusion would carry, and the finding must disappear.
+
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const (
+	canaryFieldMark = "// canary:field"
+	canaryWriteMark = "// canary:write"
+)
+
+// canaryModule copies the snapshotcover fixture into a temp dir with the
+// canary markers replaced, and returns the module root.
+func canaryModule(t *testing.T, fieldRepl, writeRepl string) string {
+	t.Helper()
+	src := filepath.Join("testdata", "src", "snapshotcover")
+	root := t.TempDir()
+	replaced := 0
+	err := filepath.WalkDir(src, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(src, p)
+		if err != nil {
+			return err
+		}
+		dst := filepath.Join(root, rel)
+		if d.IsDir() {
+			return os.MkdirAll(dst, 0o755)
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		text := string(data)
+		if strings.Contains(text, canaryFieldMark) {
+			text = strings.Replace(text, canaryFieldMark, fieldRepl, 1)
+			text = strings.Replace(text, canaryWriteMark, writeRepl, 1)
+			replaced++
+		}
+		return os.WriteFile(dst, []byte(text), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replaced != 1 {
+		t.Fatalf("expected exactly one fixture file with canary markers, found %d", replaced)
+	}
+	return root
+}
+
+// canaryDiags loads the module and returns snapshotcover diagnostics
+// mentioning the injected field.
+func canaryDiags(t *testing.T, root string) []Diagnostic {
+	t.Helper()
+	loader := NewLoader(root, "repro")
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var leaks []Diagnostic
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := "repro"
+		if rel != "." {
+			path = "repro/" + filepath.ToSlash(rel)
+		}
+		pkg, err := loader.Load(dir, path)
+		if err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		for _, d := range RunChecks(pkg, []*Analyzer{SnapshotCover}) {
+			if strings.Contains(d.Message, "leak") {
+				leaks = append(leaks, d)
+			}
+		}
+	}
+	return leaks
+}
+
+func TestSnapshotCoverCanary(t *testing.T) {
+	root := canaryModule(t,
+		"leak int64",
+		"s.g.leak++",
+	)
+	leaks := canaryDiags(t, root)
+	if len(leaks) != 1 {
+		t.Fatalf("injected uncovered field: want exactly 1 snapshotcover finding mentioning it, got %d: %v", len(leaks), leaks)
+	}
+	if !strings.Contains(leaks[0].Message, "sim.gang.leak") {
+		t.Errorf("finding does not name the injected field: %s", leaks[0].Message)
+	}
+}
+
+func TestSnapshotCoverCanaryAnnotated(t *testing.T) {
+	root := canaryModule(t,
+		"//mcrlint:nosnapshot canary exclusion with a reason\n\tleak int64",
+		"s.g.leak++",
+	)
+	if leaks := canaryDiags(t, root); len(leaks) != 0 {
+		t.Fatalf("annotated field must not be flagged, got %d findings: %v", len(leaks), leaks)
+	}
+}

@@ -1,0 +1,93 @@
+// Closed-enum switches: missing members, sentinel exclusion, default
+// ownership, aliases and dynamic cases.
+package mcr
+
+// Decision is a closed three-member enum with a trailing sentinel.
+type Decision int
+
+const (
+	Stay Decision = iota
+	Relax
+	Tighten
+	numDecisions // sentinel, not a member
+)
+
+// Hold aliases Stay: covering either name covers the value.
+const Hold Decision = Stay
+
+// missing forgets Tighten.
+func missing(d Decision) string {
+	switch d { // want `switch over Decision is not exhaustive: missing Tighten`
+	case Stay:
+		return "stay"
+	case Relax:
+		return "relax"
+	}
+	return ""
+}
+
+// exhaustive names every value; the sentinel is not owed.
+func exhaustive(d Decision) string {
+	switch d {
+	case Stay:
+		return "stay"
+	case Relax:
+		return "relax"
+	case Tighten:
+		return "tighten"
+	}
+	return ""
+}
+
+// viaAlias covers Stay's value through the alias.
+func viaAlias(d Decision) string {
+	switch d {
+	case Hold:
+		return "hold"
+	case Relax, Tighten:
+		return "move"
+	}
+	return ""
+}
+
+// defaulted hands the remainder to a default clause.
+func defaulted(d Decision) string {
+	switch d {
+	case Tighten:
+		return "tighten"
+	default:
+		return "other"
+	}
+}
+
+// dynamic has a non-constant case: coverage is undecidable, out of scope.
+func dynamic(d, pick Decision) string {
+	switch d {
+	case pick:
+		return "picked"
+	}
+	return ""
+}
+
+// level has a single constant: a named value, not a closed enum.
+type level int
+
+const defaultLevel level = 3
+
+func oneConst(l level) bool {
+	switch l {
+	case defaultLevel:
+		return true
+	}
+	return false
+}
+
+// allowed is the per-line escape hatch.
+func allowed(d Decision) string {
+	//mcrlint:allow enumswitch remainder handled by the caller
+	switch d {
+	case Stay:
+		return "stay"
+	}
+	return ""
+}

@@ -1,0 +1,75 @@
+// A miniature simulator state graph: Sim owns a counter struct, a gang
+// struct behind a pointer, and a mechanism interface, with a run loop
+// mutating all of them and a restore path covering most of it.
+package sim
+
+// counters is partially restored: hits is written back, misses is the
+// gap the check exists for, scratch is deliberately excused, noReason
+// carries a directive that forgot to say why.
+type counters struct {
+	hits int64
+	// missing from importState on purpose: the fixture's positive case.
+	misses int64 // want `mutable field sim\.counters\.misses is reachable from the cycle loop but never written on the restore path`
+	//mcrlint:nosnapshot per-pass scratch, recomputed each step
+	scratch int64
+	//mcrlint:nosnapshot // want `nosnapshot directive without a reason`
+	noReason int64
+}
+
+// gang is reached through a pointer; its rows field is restored.
+type gang struct {
+	rows int64
+	// canary:field
+}
+
+// backend is dispatched through an interface: CHA must find the impl's
+// step on the mutability side and restore on the coverage side.
+type backend interface {
+	step()
+	restore()
+}
+
+// counterBackend is the only implementation in the fixture universe.
+type counterBackend struct {
+	ticks int64
+}
+
+func (b *counterBackend) step()    { b.ticks++ }
+func (b *counterBackend) restore() { b.ticks = 0 }
+
+// rebuilt is overwritten wholesale on restore, so its interior needs no
+// per-field coverage.
+type rebuilt struct {
+	transient int64
+}
+
+// Sim is the state root.
+type Sim struct {
+	c    counters
+	g    *gang
+	mech backend
+	rb   rebuilt
+	next int64
+}
+
+// run is the mutability root.
+func (s *Sim) run() {
+	s.c.hits++
+	s.c.misses++
+	s.c.scratch++
+	s.c.noReason++
+	s.g.rows++
+	s.rb.transient++
+	s.mech.step()
+	s.next++
+	// canary:write
+}
+
+// importState is the coverage root.
+func (s *Sim) importState() {
+	s.c.hits = 0
+	s.g.rows = 0
+	s.rb = rebuilt{}
+	s.mech.restore()
+	s.next = 0
+}

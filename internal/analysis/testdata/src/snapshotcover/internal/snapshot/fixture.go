@@ -1,0 +1,17 @@
+// The gob-visibility obligation: everything reachable from State through
+// exported fields must itself be exported (or excused).
+package snapshot
+
+// Inner travels inside State; its unexported field is the finding.
+type Inner struct {
+	Vals []int64
+	seq  int64 // want `unexported field snapshot\.Inner\.seq travels inside snapshot\.State`
+}
+
+// State is the gob root.
+type State struct {
+	Cycle int64
+	Inner Inner
+	//mcrlint:nosnapshot mirrored into Cycle by the exporter
+	gen int64
+}

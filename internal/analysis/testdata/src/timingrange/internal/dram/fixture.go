@@ -1,0 +1,70 @@
+// Arithmetic obligations: unsigned subtraction and narrowing
+// conversions, provable and not.
+package dram
+
+// underflow has no proof in either direction.
+func underflow(a, b uint64) uint64 {
+	return a - b // want `unsigned subtraction a - b may underflow`
+}
+
+// guarded carries the relational fact a >= b into the subtraction.
+func guarded(a, b uint64) uint64 {
+	if a >= b {
+		return a - b
+	}
+	return 0
+}
+
+// bounded is proved by interval refinement against the constant.
+func bounded(a uint64) uint64 {
+	if a > 100 {
+		return a - 100
+	}
+	return 0
+}
+
+// killedGuard invalidates the fact before the subtraction.
+func killedGuard(a, b uint64) uint64 {
+	if a >= b {
+		b = b + 1
+		return a - b // want `unsigned subtraction a - b may underflow`
+	}
+	return 0
+}
+
+// truncate narrows an unbounded int into 32 bits.
+func truncate(x int) int32 {
+	return int32(x) // want `narrowing conversion int32\(x\) from int may truncate`
+}
+
+// provenFit narrows only after the range is pinned.
+func provenFit(x int) int32 {
+	if x >= 0 && x < 1024 {
+		return int32(x)
+	}
+	return 0
+}
+
+// wraps converts a possibly negative int to uint.
+func wraps(y int) uint {
+	return uint(y) // want `sign-crossing conversion uint\(y\) wraps for negative values`
+}
+
+// nonNeg converts under a non-negativity guard.
+func nonNeg(y int) uint {
+	if y >= 0 {
+		return uint(y)
+	}
+	return 0
+}
+
+// constants are the compiler's problem, not ours.
+func constConv() int32 {
+	return int32(1 << 20)
+}
+
+// allowed is the per-line escape hatch.
+func allowed(x int) int32 {
+	//mcrlint:allow timingrange fixture exercises the suppression path
+	return int32(x)
+}

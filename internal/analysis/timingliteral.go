@@ -58,9 +58,10 @@ var timingKeywords = []string{
 
 // TimingLiteral is the timingliteral check.
 var TimingLiteral = &Analyzer{
-	Name: "timingliteral",
-	Doc:  "DRAM timing values outside internal/timing must reference the named constant, not a raw literal",
-	Run:  runTimingLiteral,
+	Name:      "timingliteral",
+	Substrate: "syntax",
+	Doc:       "DRAM timing values outside internal/timing must reference the named constant, not a raw literal",
+	Run:       runTimingLiteral,
 }
 
 func runTimingLiteral(pass *Pass) {

@@ -1,0 +1,351 @@
+// Check timingrange: interval abstract interpretation over the cycle-
+// and nanosecond-denominated arithmetic of the timing-critical packages
+// (internal/core, internal/timing, internal/dram, internal/controller),
+// plus static verification of the paper's parameter constraints at every
+// constant config-literal site.
+//
+// Three obligations:
+//
+//  1. Unsigned subtraction must be provably non-negative — by interval
+//     bounds or by a dominating guard (`if a >= b { a - b }`); an
+//     unprovable site is a wraparound waiting for a timestamp reordering.
+//  2. Narrowing or sign-crossing integer conversions whose operand is
+//     not provably representable in the target type are flagged.
+//  3. Timing-parameter literals (timing.ModeTiming, timing.DDR3NS,
+//     timing.Params) with constant fields must satisfy the paper's
+//     structural constraints: an activation must stay open long enough
+//     to stream a burst after column access (tRAS >= tRCD + tBURST), and
+//     Table 3's Early-Access effect must be monotone — a larger clone
+//     gang K senses at least as fast, so TRCDNS may not increase with K
+//     across the literals of one declaration.
+
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strings"
+
+	"repro/internal/analysis/interval"
+	"repro/internal/core"
+)
+
+// TimingRange verifies value-range safety and timing constraints.
+var TimingRange = &Analyzer{
+	Name:      "timingrange",
+	Substrate: "interval",
+	Doc:       "no unsigned timestamp underflow or unproven narrowing conversion in timing arithmetic; timing literals satisfy tRAS >= tRCD + burst and K-monotonicity",
+	Run:       runTimingRange,
+}
+
+// burstNS is the bus occupancy of one BL8 burst (TBURST cycles), the
+// floor an activation must outlive its column access by.
+const burstNS = 4 * core.MemCycleNS
+
+func runTimingRange(pass *Pass) {
+	inScope := pass.InPackage("core") || pass.InPackage("timing") ||
+		pass.InPackage("dram") || pass.InPackage("controller")
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				// Package-level parameter tables still owe the constraints.
+				checkTimingLiterals(pass, d)
+				continue
+			}
+			if fd.Body == nil {
+				continue
+			}
+			if inScope {
+				checkRanges(pass, fd)
+			}
+			checkTimingLiterals(pass, fd.Body)
+		}
+	}
+}
+
+// checkRanges runs the interval interpretation over one function and
+// inspects every node with its flow-sensitive environment.
+func checkRanges(pass *Pass, fd *ast.FuncDecl) {
+	a := interval.Analyze(pass.Info, fd.Body)
+	a.Walk(func(n ast.Node, env interval.Env) {
+		ast.Inspect(n, func(sub ast.Node) bool {
+			if _, ok := sub.(*ast.FuncLit); ok {
+				return false // its body has its own CFG context; skip
+			}
+			switch sub := sub.(type) {
+			case *ast.BinaryExpr:
+				checkUnsignedSub(pass, a, env, sub)
+			case *ast.CallExpr:
+				checkConversion(pass, a, env, sub)
+			}
+			return true
+		})
+	})
+}
+
+// checkUnsignedSub proves (or flags) an unsigned subtraction.
+func checkUnsignedSub(pass *Pass, a *interval.Analysis, env interval.Env, b *ast.BinaryExpr) {
+	if b.Op != token.SUB {
+		return
+	}
+	t := pass.Info.TypeOf(b)
+	if t == nil || !interval.IsUnsigned(t) {
+		return
+	}
+	// Constant subtractions were folded and range-checked by the compiler.
+	if tv, ok := pass.Info.Types[b]; ok && tv.Value != nil {
+		return
+	}
+	xi, yi := a.Eval(b.X, env), a.Eval(b.Y, env)
+	if xi.Lo >= yi.Hi {
+		return // interval proof: every x is at least every y
+	}
+	if env.GE(identOf(pass.Info, b.X), identOf(pass.Info, b.Y)) {
+		return // relational proof: a dominating guard established x >= y
+	}
+	pass.Reportf(b.OpPos,
+		"unsigned subtraction %s may underflow: cannot prove %s >= %s (left %s, right %s); guard the order or subtract in a signed domain",
+		render(b), render(b.X), render(b.Y), fmtI(xi), fmtI(yi))
+}
+
+// checkConversion flags integer conversions that may truncate or wrap.
+func checkConversion(pass *Pass, a *interval.Analysis, env interval.Env, call *ast.CallExpr) {
+	tv, ok := pass.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return
+	}
+	dstB, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || dstB.Info()&types.IsInteger == 0 {
+		return
+	}
+	arg := call.Args[0]
+	srcT := pass.Info.TypeOf(arg)
+	if srcT == nil || !interval.IsInteger(srcT) {
+		return // float->int conversions are judged by unitmix, not here
+	}
+	// Constant operands are range-checked at compile time.
+	if atv, ok := pass.Info.Types[arg]; ok && atv.Value != nil {
+		return
+	}
+	srcB := srcT.Underlying().(*types.Basic)
+	dstRange, _ := interval.TypeRange(dstB)
+	src := a.Eval(arg, env)
+	if src.Within(dstRange.Lo, dstRange.Hi) {
+		// Note uint64 -> int64 passes here by construction: the domain
+		// saturates unsigned 64-bit at MaxInt64, so the top half is
+		// indistinguishable — an accepted blind spot, not a proof hole
+		// for the narrowings this check is after.
+		return
+	}
+	switch {
+	case intWidth(dstB) < intWidth(srcB):
+		pass.Reportf(call.Pos(),
+			"narrowing conversion %s(%s) from %s may truncate (operand %s does not fit %s); prove the range or widen the target",
+			dstB.Name(), render(arg), srcB.Name(), fmtI(src), fmtI(dstRange))
+	case dstB.Info()&types.IsUnsigned != 0 && srcB.Info()&types.IsUnsigned == 0 && src.MaybeNegative():
+		pass.Reportf(call.Pos(),
+			"sign-crossing conversion %s(%s) wraps for negative values (operand %s); guard non-negativity first",
+			dstB.Name(), render(arg), fmtI(src))
+	}
+}
+
+// intWidth returns the bit width of a basic integer type (int, uint and
+// uintptr treated as 64-bit, the only width the simulator targets).
+func intWidth(b *types.Basic) int {
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8
+	case types.Int16, types.Uint16:
+		return 16
+	case types.Int32, types.Uint32:
+		return 32
+	}
+	return 64
+}
+
+// identOf resolves an expression to its variable object when it is a
+// plain identifier.
+func identOf(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// fmtI renders an interval for diagnostics.
+func fmtI(i interval.I) string {
+	bound := func(v int64, inf string) string {
+		if v == math.MinInt64 || v == math.MaxInt64 {
+			return inf
+		}
+		return itoa(v)
+	}
+	return "[" + bound(i.Lo, "-inf") + ", " + bound(i.Hi, "+inf") + "]"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	var buf [20]byte
+	n := len(buf)
+	for v != 0 {
+		n--
+		buf[n] = byte('0' + abs64(v%10))
+		v /= 10
+	}
+	if neg {
+		n--
+		buf[n] = '-'
+	}
+	return string(buf[n:])
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// render prints a small expression for a diagnostic, collapsing
+// anything long.
+func render(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return render(e.X) + "." + e.Sel.Name
+	case *ast.BinaryExpr:
+		return render(e.X) + " " + e.Op.String() + " " + render(e.Y)
+	case *ast.ParenExpr:
+		return "(" + render(e.X) + ")"
+	case *ast.CallExpr:
+		return render(e.Fun) + "(...)"
+	case *ast.IndexExpr:
+		return render(e.X) + "[...]"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "expr"
+}
+
+// timingLiteralRow is one constant ModeTiming literal, for the
+// monotonicity comparison.
+type timingLiteralRow struct {
+	lit    *ast.CompositeLit
+	k      int64
+	trcdNS float64
+}
+
+// checkTimingLiterals verifies the structural constraints at every
+// constant timing-parameter literal in one declaration, wherever the
+// declaration lives — re-typed parameter tables outside internal/timing
+// are timingliteral's complaint, not a reason to skip verification.
+func checkTimingLiterals(pass *Pass, scope ast.Node) {
+	var rows []timingLiteralRow
+	ast.Inspect(scope, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		named := namedOfExpr(pass.Info, lit)
+		if named == nil || !fromTimingPackage(named) {
+			return true
+		}
+		fields := constFields(pass.Info, lit)
+		switch named.Obj().Name() {
+		case "ModeTiming":
+			checkBurstFloor(pass, lit, fields, "TRCDNS", "TRASNS", burstNS, "ns")
+			k, okK := fields["K"]
+			trcd, okT := fields["TRCDNS"]
+			if okK && okT {
+				rows = append(rows, timingLiteralRow{lit: lit, k: int64(k), trcdNS: trcd})
+			}
+		case "DDR3NS":
+			checkBurstFloor(pass, lit, fields, "TRCD", "TRAS", burstNS, "ns")
+		case "Params":
+			checkBurstFloor(pass, lit, fields, "TRCD", "TRAS", 4, "cycles")
+		}
+		return true
+	})
+	checkKMonotonic(pass, rows)
+}
+
+// checkBurstFloor enforces tRAS >= tRCD + burst when both fields are
+// constant in the literal.
+func checkBurstFloor(pass *Pass, lit *ast.CompositeLit, fields map[string]float64, trcdName, trasName string, burst float64, unit string) {
+	trcd, okC := fields[trcdName]
+	tras, okA := fields[trasName]
+	if !okC || !okA {
+		return
+	}
+	if tras+1e-9 < trcd+burst {
+		pass.Reportf(lit.Pos(),
+			"timing literal violates tRAS >= tRCD + burst: %s=%v + %v-%s burst exceeds %s=%v; the row would precharge before the burst drains",
+			trcdName, trcd, burst, unit, trasName, tras)
+	}
+}
+
+// checkKMonotonic enforces Table 3's Early-Access monotonicity across
+// the ModeTiming literals of one declaration: TRCDNS may not increase
+// with K.
+func checkKMonotonic(pass *Pass, rows []timingLiteralRow) {
+	for _, hi := range rows {
+		for _, lo := range rows {
+			if lo.k < hi.k && hi.trcdNS > lo.trcdNS+1e-9 {
+				pass.Reportf(hi.lit.Pos(),
+					"Table 3 monotonicity violated: K=%d has TRCDNS=%v but K=%d has TRCDNS=%v; a larger clone gang adds cell capacitance and must sense at least as fast (Early-Access)",
+					hi.k, hi.trcdNS, lo.k, lo.trcdNS)
+			}
+		}
+	}
+}
+
+// constFields extracts the constant numeric fields of a keyed composite
+// literal.
+func constFields(info *types.Info, lit *ast.CompositeLit) map[string]float64 {
+	out := map[string]float64{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		if tv, ok := info.Types[kv.Value]; ok && tv.Value != nil {
+			if v, ok := constant.Float64Val(constant.ToFloat(tv.Value)); ok {
+				out[key.Name] = v
+			}
+		}
+	}
+	return out
+}
+
+// namedOfExpr returns the named type of a composite literal.
+func namedOfExpr(info *types.Info, lit *ast.CompositeLit) *types.Named {
+	t := info.TypeOf(lit)
+	if t == nil {
+		return nil
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// fromTimingPackage reports whether the named type is declared in an
+// internal/timing package (module-prefix independent, fixture-friendly).
+func fromTimingPackage(named *types.Named) bool {
+	p := named.Obj().Pkg()
+	if p == nil {
+		return false
+	}
+	path := p.Path()
+	return path == "internal/timing" || strings.HasSuffix(path, "/internal/timing")
+}

@@ -21,9 +21,10 @@ import (
 
 // UnitMix is the unitmix check.
 var UnitMix = &Analyzer{
-	Name: "unitmix",
-	Doc:  "no additive mixing of cycle-denominated and nanosecond-denominated quantities",
-	Run:  runUnitMix,
+	Name:      "unitmix",
+	Substrate: "syntax",
+	Doc:       "no additive mixing of cycle-denominated and nanosecond-denominated quantities",
+	Run:       runUnitMix,
 }
 
 func runUnitMix(pass *Pass) {

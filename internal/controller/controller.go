@@ -176,7 +176,9 @@ type Controller struct {
 	// touched is schedulePass's per-pass bank-dedup scratch: one
 	// generation stamp per bank, bumped each pass, so the per-cycle
 	// scheduler never allocates a map.
-	touched    []int64
+	//mcrlint:nosnapshot per-pass scratch, dead between scheduler passes
+	touched []int64
+	//mcrlint:nosnapshot per-pass scratch, dead between scheduler passes
 	touchedGen int64
 
 	// pendingMode, when non-nil, is a requested MRS mode switch the

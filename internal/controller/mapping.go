@@ -55,14 +55,21 @@ func NewAddressMapper(geom core.Geometry, policy MappingPolicy) (*AddressMapper,
 	if err := geom.Validate(); err != nil {
 		return nil, err
 	}
+	// Validate established every dimension is a positive power of two, so
+	// the uint conversions below cannot wrap.
 	return &AddressMapper{
-		geom:     geom,
-		policy:   policy,
-		colBits:  bits.TrailingZeros(uint(geom.Columns)),
-		chBits:   bits.TrailingZeros(uint(geom.Channels)),
+		geom:   geom,
+		policy: policy,
+		//mcrlint:allow timingrange Validate proved the dimensions positive
+		colBits: bits.TrailingZeros(uint(geom.Columns)),
+		//mcrlint:allow timingrange Validate proved the dimensions positive
+		chBits: bits.TrailingZeros(uint(geom.Channels)),
+		//mcrlint:allow timingrange Validate proved the dimensions positive
 		bankBits: bits.TrailingZeros(uint(geom.Banks)),
+		//mcrlint:allow timingrange Validate proved the dimensions positive
 		rankBits: bits.TrailingZeros(uint(geom.Ranks)),
-		rowBits:  bits.TrailingZeros(uint(geom.Rows)),
+		//mcrlint:allow timingrange Validate proved the dimensions positive
+		rowBits: bits.TrailingZeros(uint(geom.Rows)),
 	}, nil
 }
 
@@ -90,6 +97,8 @@ func (m *AddressMapper) Decode(line int64) core.Address {
 	line >>= m.rankBits
 	a.Row = int(line & int64(m.geom.Rows-1))
 	switch m.policy {
+	case PageInterleave:
+		// identity: the straight bit split already is page interleaving
 	case PermutationInterleave:
 		a.Bank ^= a.Row & (m.geom.Banks - 1)
 	case BitReversal:
@@ -113,6 +122,8 @@ func (m *AddressMapper) Encode(a core.Address) int64 {
 	bank := a.Bank
 	row := a.Row
 	switch m.policy {
+	case PageInterleave:
+		// identity, matching Decode
 	case PermutationInterleave:
 		bank ^= a.Row & (m.geom.Banks - 1)
 	case BitReversal:

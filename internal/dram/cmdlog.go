@@ -34,8 +34,11 @@ func (c LoggedCommand) String() string {
 
 // CommandLog records the last N activate/precharge/refresh events.
 type CommandLog struct {
-	ring  []LoggedCommand
-	next  int
+	//mcrlint:nosnapshot debug ring of past events, no forward effect on the run
+	ring []LoggedCommand
+	//mcrlint:nosnapshot debug ring of past events, no forward effect on the run
+	next int
+	//mcrlint:nosnapshot debug ring of past events, no forward effect on the run
 	count int64
 	inner Hook // optional chained hook
 }

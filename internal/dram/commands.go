@@ -21,7 +21,11 @@ func (d *Device) emit(kind obs.EventKind, ts, dur int64, a core.Address, row int
 	}
 	d.tr.Emit(obs.Event{
 		TS: ts, Dur: dur, Kind: kind,
+		// Decoded address components are bounded by the validated geometry
+		// (rows per bank < 2^31 by Geometry.Validate), far inside int32.
+		//mcrlint:allow timingrange geometry-bounded address components
 		Channel: int32(a.Channel), Rank: int32(a.Rank), Bank: int32(a.Bank),
+		//mcrlint:allow timingrange geometry-bounded row index
 		Row: int32(row), Arg: arg,
 	})
 }

@@ -62,6 +62,8 @@ const (
 // String names the decision.
 func (d Decision) String() string {
 	switch d {
+	case Stay:
+		return "stay"
 	case Relax:
 		return "relax"
 	case Tighten:

@@ -68,7 +68,8 @@ func (c CLRConfig) Validate() error {
 // CLR is the capacity/latency coupling backend.
 type CLR struct {
 	base
-	lcfg          CLRConfig
+	lcfg CLRConfig
+	//mcrlint:nosnapshot derived from validated config at construction, resume rebuilds it
 	fast          timing.Params // coupled-pair timing class
 	convertCycles int64
 	subarray      int

@@ -67,7 +67,8 @@ func (c CROWConfig) Validate() error {
 // CROW is the copy-row mechanism backend.
 type CROW struct {
 	base
-	ccfg       CROWConfig
+	ccfg CROWConfig
+	//mcrlint:nosnapshot derived from validated config at construction, resume rebuilds it
 	fast       timing.Params // copied-row timing class
 	copyCycles int64
 	subarray   int

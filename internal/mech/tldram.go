@@ -74,6 +74,7 @@ type TL struct {
 	tcfg      TLConfig
 	nearStart int // first near-segment local index
 	subarray  int
+	//mcrlint:nosnapshot derived from validated config at construction, resume rebuilds it
 	near, far timing.Params
 }
 

@@ -1,0 +1,33 @@
+// Package sim assembles the full system of paper Table 4 — trace-driven
+// cores, the FR-FCFS memory controller, the MCR-DRAM device and the power
+// model — and runs it to completion, reporting execution time, read
+// latency, energy and EDP.
+//
+// # Adding a field to simulator state
+//
+// Any field the cycle loop can mutate is simulator state, wherever it
+// lives — Sim itself, loopState, the device, a mechanism backend, the
+// controller, a core. Checkpoint/restore (checkpoint.go) promises a
+// resumed run byte-identical to an uninterrupted one, which holds only
+// if every such field round-trips. The checklist, enforced by mcrlint's
+// snapshotcover check (CI fails on a miss):
+//
+//  1. Add the field to the owning component's exported State struct
+//     (dram.State, mech.State, controller.State, snapshot.LoopState, …)
+//     — exported, because encoding/gob silently drops unexported fields
+//     (the check's gob-visibility obligation catches this too).
+//  2. Copy it out in that component's ExportState (or exportLoop /
+//     exportResilience for loop-owned state).
+//  3. Write it back in the matching ImportState — this is the closure
+//     snapshotcover verifies: a field mutated on the run path must be
+//     written on the importState path.
+//  4. If the field is deliberately not snapshotted — derived from
+//     config at construction, per-pass scratch, debug-only — annotate
+//     its declaration with `//mcrlint:nosnapshot <reason>`. The reason
+//     is mandatory; a bare directive is itself a finding.
+//  5. Extend TestCheckpointResumeParity's reach if the field influences
+//     results under a configuration the parity matrix does not cover.
+//
+// Run `go run ./cmd/mcrlint -checks snapshotcover ./...` before pushing;
+// TestSnapshotCoverCanary keeps the check itself honest.
+package sim

@@ -1,7 +1,3 @@
-// Package sim assembles the full system of paper Table 4 — trace-driven
-// cores, the FR-FCFS memory controller, the MCR-DRAM device and the power
-// model — and runs it to completion, reporting execution time, read
-// latency, energy and EDP.
 package sim
 
 import (
@@ -274,10 +270,11 @@ func (q *completionQueue) pop() controller.Completion {
 // runLoop so the steady-state body (step) can carry its own hot-path
 // mark while runLoop keeps the allocating prologue and epilogue.
 type loopState struct {
-	cfg   Config
-	geom  core.Geometry
-	dev   *dram.Device
-	ctrl  *controller.Controller
+	cfg  Config
+	geom core.Geometry
+	dev  *dram.Device
+	ctrl *controller.Controller
+	//mcrlint:nosnapshot aliases Sim.cores, element state restored by importState
 	cores []*cpu.Core
 
 	idleStreak []int
