@@ -1,6 +1,7 @@
 package mcrdram_test
 
 import (
+	"context"
 	"fmt"
 
 	mcrdram "repro"
@@ -50,21 +51,21 @@ func ExampleMaxRefreshInterval() {
 	// 4x: K-to-K 40 ms, K-to-N-1-K 16 ms
 }
 
-// ExampleSimulate runs a tiny simulation and reports whether MCR-DRAM beat
+// ExampleRun runs a tiny simulation and reports whether MCR-DRAM beat
 // the conventional baseline.
-func ExampleSimulate() {
+func ExampleRun() {
 	mode, _ := mcrdram.NewMode(4, 4, 1.0)
 
 	base := mcrdram.SingleCore("tigr", mcrdram.ModeOff())
 	base.InstsPerCore = 50_000
-	bres, err := mcrdram.Simulate(base)
+	bres, err := mcrdram.Run(context.Background(), base)
 	if err != nil {
 		panic(err)
 	}
 
 	cfg := mcrdram.SingleCore("tigr", mode)
 	cfg.InstsPerCore = 50_000
-	res, err := mcrdram.Simulate(cfg)
+	res, err := mcrdram.Run(context.Background(), cfg)
 	if err != nil {
 		panic(err)
 	}

@@ -10,11 +10,11 @@ import (
 	mcrdram "repro"
 )
 
-func TestWithIntegrityCheck(t *testing.T) {
+func TestWithIntegrityOption(t *testing.T) {
 	mode, _ := mcrdram.NewMode(4, 4, 1)
-	cfg := mcrdram.WithIntegrityCheck(mcrdram.SingleCore("stream", mode))
+	cfg := mcrdram.SingleCore("stream", mode)
 	cfg.InstsPerCore = 60_000
-	res, err := mcrdram.Simulate(cfg)
+	res, err := mcrdram.Run(context.Background(), cfg, mcrdram.WithIntegrity())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,13 +42,13 @@ func TestGovernorFacade(t *testing.T) {
 func TestTLDRAMFacade(t *testing.T) {
 	cfg := mcrdram.TLDRAMLike("tigr", mcrdram.TLDRAMDefaults())
 	cfg.InstsPerCore = 60_000
-	res, err := mcrdram.Simulate(cfg)
+	res, err := mcrdram.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := mcrdram.SingleCore("tigr", mcrdram.ModeOff())
 	base.InstsPerCore = 60_000
-	bres, err := mcrdram.Simulate(base)
+	bres, err := mcrdram.Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestWriteReportFacade(t *testing.T) {
 	mode, _ := mcrdram.NewMode(2, 2, 1)
 	cfg := mcrdram.SingleCore("black", mode)
 	cfg.InstsPerCore = 40_000
-	res, err := mcrdram.Simulate(cfg)
+	res, err := mcrdram.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestWriteReportFacade(t *testing.T) {
 	}
 	base := mcrdram.SingleCore("black", mcrdram.ModeOff())
 	base.InstsPerCore = 40_000
-	bres, err := mcrdram.Simulate(base)
+	bres, err := mcrdram.Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +97,7 @@ func TestCombinedLayoutFacade(t *testing.T) {
 	}
 	cfg := mcrdram.CombinedLayout("comm2", layout, 0.05, 0.15)
 	cfg.InstsPerCore = 60_000
-	res, err := mcrdram.Simulate(cfg)
+	res, err := mcrdram.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func TestCombinedLayoutFacade(t *testing.T) {
 func TestNUATFacade(t *testing.T) {
 	cfg := mcrdram.NUATLike("tigr", mcrdram.NUATDefaults())
 	cfg.InstsPerCore = 60_000
-	res, err := mcrdram.Simulate(cfg)
+	res, err := mcrdram.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +153,35 @@ func TestRunPlanFacade(t *testing.T) {
 	}
 }
 
-func TestSimulateContextCancel(t *testing.T) {
+func TestRunContextCancel(t *testing.T) {
 	mode, _ := mcrdram.NewMode(2, 2, 1)
 	cfg := mcrdram.SingleCore("stream", mode)
 	cfg.InstsPerCore = 50_000_000
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := mcrdram.SimulateContext(ctx, cfg); !errors.Is(err, context.Canceled) {
+	if _, err := mcrdram.Run(ctx, cfg); !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestWithMechanismOption(t *testing.T) {
+	mode, _ := mcrdram.NewMode(4, 4, 1)
+	for _, name := range mcrdram.MechanismNames() {
+		cfg := mcrdram.SingleCore("tigr", mode)
+		cfg.InstsPerCore = 40_000
+		res, err := mcrdram.Run(context.Background(), cfg, mcrdram.WithMechanism(name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Mechanism != name {
+			t.Errorf("WithMechanism(%q) ran backend %q", name, res.Mechanism)
+		}
+		if cfg.DRAM.TL != nil || cfg.DRAM.NUAT != nil || cfg.DRAM.CROW != nil || cfg.DRAM.CLR != nil {
+			t.Errorf("%s: Run mutated the caller's Config", name)
+		}
+	}
+	if _, err := mcrdram.Run(context.Background(), mcrdram.SingleCore("tigr", mode),
+		mcrdram.WithMechanism("rowclone")); !errors.Is(err, mcrdram.ErrUnknownMechanism) {
+		t.Fatalf("unknown mechanism: err = %v, want ErrUnknownMechanism", err)
 	}
 }

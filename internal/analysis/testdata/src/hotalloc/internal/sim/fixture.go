@@ -47,6 +47,24 @@ func TickAllowed(rows []int) int {
 	return len(cache)
 }
 
+// heapPush models the event-driven engine's typed sift-heap: the append
+// reuses a backing array that saturates at the candidate count, so the
+// site carries a justified allow.
+//
+//mcrlint:hotpath per-step event heap
+func heapPush(q *[]int, v int) {
+	*q = append(*q, v) //mcrlint:allow hotalloc capacity saturates at the candidate count
+	h := *q
+	for i := len(h) - 1; i > 0; {
+		p := (i - 1) / 2
+		if h[p] <= h[i] {
+			break
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
 // cold is not a hot root: its allocations are nobody's business.
 func cold() map[int]bool {
 	// negative: only //mcrlint:hotpath roots are checked.

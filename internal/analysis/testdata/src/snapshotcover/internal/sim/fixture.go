@@ -50,6 +50,11 @@ type Sim struct {
 	mech backend
 	rb   rebuilt
 	next int64
+	// evq models the event-driven engine's skip-horizon heap: mutated
+	// every step but drained before each use, so restore owes it
+	// nothing — the reason-carrying directive is the negative case.
+	//mcrlint:nosnapshot per-step scratch heap, drained inside every use
+	evq []int64
 }
 
 // run is the mutability root.
@@ -62,6 +67,8 @@ func (s *Sim) run() {
 	s.rb.transient++
 	s.mech.step()
 	s.next++
+	s.evq = s.evq[:0]
+	s.evq = append(s.evq, s.next)
 	// canary:write
 }
 

@@ -79,6 +79,9 @@ type Registry struct {
 	modeChanges     atomic.Int64
 	quarantines     atomic.Int64
 	violations      atomic.Int64
+
+	engineStepped atomic.Int64
+	engineSkipped atomic.Int64
 }
 
 // NewRegistry returns an empty enabled registry. Per-bank counters are
@@ -219,6 +222,18 @@ func (r *Registry) Violation() {
 	r.violations.Add(1)
 }
 
+// AddEngineCycles accumulates the run loop's engine accounting: stepped
+// is the memory cycles executed one by one, skipped the cycles the
+// event-driven engine replayed in closed form (0 for stepped runs).
+// The sim layer pushes both once, at finish.
+func (r *Registry) AddEngineCycles(stepped, skipped int64) {
+	if r == nil {
+		return
+	}
+	r.engineStepped.Add(stepped)
+	r.engineSkipped.Add(skipped)
+}
+
 // Snapshot is a point-in-time copy of a registry's counters, exported as
 // plain values for reports and tests. Every field derives from simulated
 // cycles and command streams only; wall-clock values must never reach a
@@ -245,6 +260,29 @@ type Snapshot struct {
 	ModeChanges     int64
 	QuarantinedRows int64
 	Violations      int64
+
+	// EngineSteppedCycles/EngineSkippedCycles partition the run's memory
+	// cycles by how the engine advanced them: stepped one by one, or
+	// skipped (replayed in closed form by the event-driven engine). Both
+	// are zero until the run finishes — mid-run checkpoints deliberately
+	// carry no engine accounting, keeping snapshots byte-compatible
+	// across engines.
+	EngineSteppedCycles int64
+	EngineSkippedCycles int64
+}
+
+// SkipRatio returns the fraction of simulated memory cycles the
+// event-driven engine skipped (0 when the engine accounting is absent,
+// e.g. a stepped run or a mid-run snapshot).
+func (s *Snapshot) SkipRatio() float64 {
+	if s == nil {
+		return 0
+	}
+	total := s.EngineSteppedCycles + s.EngineSkippedCycles
+	if total <= 0 {
+		return 0
+	}
+	return float64(s.EngineSkippedCycles) / float64(total)
 }
 
 // Snapshot copies the counters out. Safe while increments continue
@@ -267,6 +305,8 @@ func (r *Registry) Snapshot() *Snapshot {
 		ModeChanges:         r.modeChanges.Load(),
 		QuarantinedRows:     r.quarantines.Load(),
 		Violations:          r.violations.Load(),
+		EngineSteppedCycles: r.engineStepped.Load(),
+		EngineSkippedCycles: r.engineSkipped.Load(),
 	}
 	for c := Cmd(0); c < numCmds; c++ {
 		var total int64
@@ -313,6 +353,8 @@ func (r *Registry) ImportSnapshot(s *Snapshot) {
 	r.modeChanges.Store(s.ModeChanges)
 	r.quarantines.Store(s.QuarantinedRows)
 	r.violations.Store(s.Violations)
+	r.engineStepped.Store(s.EngineSteppedCycles)
+	r.engineSkipped.Store(s.EngineSkippedCycles)
 	for i := range r.latency {
 		var v int64
 		if i < len(s.LatencyCounts) {

@@ -105,6 +105,10 @@ func Write(w io.Writer, cfg sim.Config, res *sim.Result) error {
 			fmt.Fprintf(&b, "  %-15s: %12d cycles (%5.1f%%)\n", c, o.Stall[c], pctOf)
 		}
 		fmt.Fprintf(&b, "refresh debt peak  : %d intervals\n", o.RefreshDebtPeak)
+		if o.EngineSteppedCycles+o.EngineSkippedCycles > 0 {
+			fmt.Fprintf(&b, "engine             : %d stepped + %d skipped cycles (%.1f%% skipped)\n",
+				o.EngineSteppedCycles, o.EngineSkippedCycles, o.SkipRatio()*100)
+		}
 		if o.ModeChanges+o.QuarantinedRows+o.Violations > 0 {
 			fmt.Fprintf(&b, "resilience events  : %d mode changes, %d quarantined rows, %d violations\n",
 				o.ModeChanges, o.QuarantinedRows, o.Violations)

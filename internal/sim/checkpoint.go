@@ -241,6 +241,7 @@ func (s *Sim) Run(ctx context.Context) (*Result, error) {
 func (s *Sim) run(ctx context.Context) (*Result, error) {
 	ck := s.cfg.Checkpoint
 	writing := ck != nil && ck.Path != "" && ck.EveryNCycles > 0
+	eventDriven := s.cfg.Engine == EventDriven
 	lastWrite := s.next
 	const safetyCap = int64(4) << 32 // runaway guard
 	var mem int64
@@ -279,6 +280,16 @@ func (s *Sim) run(ctx context.Context) (*Result, error) {
 		}
 		if s.ls.step(mem) {
 			break
+		}
+		if eventDriven {
+			// Jump over the inert span: target is the next cycle any
+			// domain can change state, and it never crosses a poll
+			// boundary, so the amortized block above fires at exactly
+			// the stepped engine's cycles.
+			if t := s.ls.skipTarget(mem); t > mem+1 {
+				s.ls.applySkip(mem, t-mem-1)
+				mem = t - 1
+			}
 		}
 	}
 	res, err := s.finish(mem)
@@ -343,6 +354,10 @@ func (s *Sim) finish(mem int64) (*Result, error) {
 	res.Mechanism = s.dev.MechanismName()
 	mstats := s.dev.MechStats()
 	res.MechStats = &mstats
+	// Engine accounting is pushed once, here, so mid-run checkpoint
+	// snapshots carry zero engine counters on both engines and stay
+	// byte-compatible across them.
+	cfg.Metrics.AddEngineCycles(mem-ls.skippedCycles, ls.skippedCycles)
 	res.Obs = cfg.Metrics.Snapshot()
 	if res.Ctrl.ReadsDone > 0 {
 		res.MCRRequestFraction = float64(res.Ctrl.MCRReads) / float64(res.Ctrl.ReadsDone)
@@ -441,6 +456,7 @@ func (s *Sim) exportState() (*snapshot.State, error) {
 			WarmStart:        ls.warmStart,
 			Warmed:           ls.warmed,
 			CPUCycle:         ls.cpuCycle,
+			SkippedCycles:    ls.skippedCycles,
 		},
 	}
 	for i, c := range s.cores {
@@ -525,6 +541,7 @@ func (ls *loopState) importLoop(st snapshot.LoopState) error {
 	ls.totalReadLatency, ls.reads = st.TotalReadLatency, st.Reads
 	ls.warmStart, ls.warmed = st.WarmStart, st.Warmed
 	ls.cpuCycle = st.CPUCycle
+	ls.skippedCycles = st.SkippedCycles
 	return nil
 }
 

@@ -82,6 +82,13 @@ type Config struct {
 	// the snapshot itself records the marshalled config for the restore-
 	// time compatibility check.
 	Checkpoint *CheckpointConfig `json:"-"`
+
+	// Engine selects the cycle-advancement strategy: EventDriven (the
+	// zero value) skips provably inert spans, Stepped forces the classic
+	// per-cycle loop. The two are byte-identical in every Result field,
+	// so the engine is excluded from JSON — checkpoints restore across
+	// engines and run-plan memo keys are engine-agnostic.
+	Engine Engine `json:"-"`
 }
 
 // DefaultConfig returns a single-core run of the given workload with MCR
@@ -289,6 +296,12 @@ type loopState struct {
 	warmStart int64
 	warmed    bool
 	cpuCycle  int64
+
+	// skippedCycles counts the memory cycles the event-driven engine
+	// replayed in closed form instead of stepping (0 under Stepped).
+	skippedCycles int64
+	//mcrlint:nosnapshot per-step scratch heap, drained inside every skipTarget call
+	evq eventQueue
 }
 
 // step runs one memory cycle — completion delivery, 4 CPU cycles, one

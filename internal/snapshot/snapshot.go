@@ -116,6 +116,10 @@ type LoopState struct {
 	WarmStart        int64
 	Warmed           bool
 	CPUCycle         int64
+	// SkippedCycles is the event-driven engine's closed-form-replayed
+	// cycle count (0 for stepped runs); gob's zero-default keeps older
+	// snapshots decodable.
+	SkippedCycles int64
 }
 
 // State is the complete simulator state at one quiescent cycle boundary.

@@ -142,6 +142,12 @@ func (g *Generator) Next() (Record, bool) {
 	return Record{Gap: gap, Kind: kind, Line: line}, true
 }
 
+// Exhausted reports whether the instruction budget is spent: every
+// subsequent Next returns false without mutating the generator. The
+// event-driven engine's CPU skip bound uses this to prove a core can
+// make no further fetch progress during a skipped span.
+func (g *Generator) Exhausted() bool { return g.insts <= 0 }
+
 // Calls returns the number of successful Next calls so far. Because the
 // generator's only mutable state is its RNG and the stream walk both of
 // which advance exactly once per successful Next, (constructor arguments,

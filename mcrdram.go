@@ -1,7 +1,6 @@
 package mcrdram
 
 import (
-	"context"
 	"io"
 
 	"repro/internal/circuit"
@@ -111,21 +110,6 @@ func CombinedLayout(workload string, layout Layout, ratio4, ratio2 float64) Conf
 	return cfg
 }
 
-// Simulate runs a configuration to completion.
-//
-// Deprecated: use Run, which also accepts functional options
-// (WithMetrics, WithTrace, WithIntegrity, WithResilience).
-func Simulate(cfg Config) (*Result, error) { return Run(context.Background(), cfg) }
-
-// SimulateContext runs a configuration to completion, aborting early when
-// ctx is cancelled (Ctrl-C, deadlines).
-//
-// Deprecated: use Run, which also accepts functional options
-// (WithMetrics, WithTrace, WithIntegrity, WithResilience).
-func SimulateContext(ctx context.Context, cfg Config) (*Result, error) {
-	return Run(ctx, cfg)
-}
-
 // RunPlan is a declarative sweep: an ordered list of RunSpec cells, each a
 // labelled simulation optionally paired with a baseline.
 type RunPlan = runplan.Plan
@@ -213,17 +197,6 @@ type IntegrityConfig = integrity.Config
 // IntegrityDefaults returns the normal-temperature retention assumptions
 // (64 ms window, 20% worst-case droop).
 func IntegrityDefaults() IntegrityConfig { return integrity.DefaultConfig() }
-
-// WithIntegrityCheck attaches the retention checker to a configuration;
-// violations appear in Result.Integrity (empty slice = verified safe).
-//
-// Deprecated: use the WithIntegrity (or WithIntegrityConfig) RunOption
-// with Run instead of transforming the configuration.
-func WithIntegrityCheck(cfg Config) Config {
-	ic := integrity.DefaultConfig()
-	cfg.Integrity = &ic
-	return cfg
-}
 
 // Governor manages dynamic MCR-mode changes under memory pressure
 // (paper Sec. 4.4).

@@ -2,6 +2,7 @@ package mcrdram_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -47,20 +48,20 @@ func TestWorkloadCatalogueExport(t *testing.T) {
 	}
 }
 
-func TestSimulateSingleCore(t *testing.T) {
+func TestRunSingleCore(t *testing.T) {
 	mode, err := mcrdram.NewMode(4, 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	cfg := mcrdram.SingleCore("tigr", mode)
 	cfg.InstsPerCore = 80_000
-	res, err := mcrdram.Simulate(cfg)
+	res, err := mcrdram.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	base := mcrdram.SingleCore("tigr", mcrdram.ModeOff())
 	base.InstsPerCore = 80_000
-	bres, err := mcrdram.Simulate(base)
+	bres, err := mcrdram.Run(context.Background(), base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,10 +71,10 @@ func TestSimulateSingleCore(t *testing.T) {
 	}
 }
 
-func TestSimulateMultiCore(t *testing.T) {
+func TestRunMultiCore(t *testing.T) {
 	cfg := mcrdram.MultiCore([]string{"comm1", "libq", "stream", "tigr"}, mcrdram.ModeOff(), false)
 	cfg.InstsPerCore = 40_000
-	res, err := mcrdram.Simulate(cfg)
+	res, err := mcrdram.Run(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

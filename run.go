@@ -1,16 +1,21 @@
 // The functional-options facade: Run is the single entry point for
 // executing a simulation. Options attach cross-cutting concerns —
-// observability, integrity checking, the resilience policy — to one
-// invocation without mutating the caller's Config value, replacing the
-// older config-transforming helpers (Simulate, SimulateContext,
-// WithIntegrityCheck), which remain as thin deprecated wrappers.
+// observability, integrity checking, the resilience policy, mechanism
+// and engine selection — to one invocation without mutating the
+// caller's Config value. Options can fail (an unknown mechanism name,
+// for instance); Run surfaces the first failure before any simulation
+// state is built.
 
 package mcrdram
 
 import (
 	"context"
+	"fmt"
 
+	"repro/internal/dram"
 	"repro/internal/integrity"
+	"repro/internal/mcr"
+	"repro/internal/mech"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -44,42 +49,105 @@ func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
 
 // RunOption customizes one Run invocation. Options apply to a private
 // copy of the configuration, so the caller's Config is never mutated and
-// may be reused across runs.
-type RunOption func(*Config)
+// may be reused across runs. An option returning an error aborts Run
+// before the simulation starts.
+type RunOption func(*Config) error
 
 // WithMetrics attaches a metrics registry to the run's hot path. The
 // registry may be shared across concurrent runs (all increments are
 // atomic); pass a fresh one per run for per-run snapshots.
 func WithMetrics(reg *Metrics) RunOption {
-	return func(c *Config) { c.Metrics = reg }
+	return func(c *Config) error { c.Metrics = reg; return nil }
 }
 
 // WithTrace attaches a cycle-domain event tracer to the run.
 func WithTrace(tr *Tracer) RunOption {
-	return func(c *Config) { c.Trace = tr }
+	return func(c *Config) error { c.Trace = tr; return nil }
 }
 
 // WithIntegrity attaches the retention-safety checker with its default
 // (normal-temperature) configuration; violations appear in
 // Result.Integrity (empty slice = verified safe).
 func WithIntegrity() RunOption {
-	return func(c *Config) {
+	return func(c *Config) error {
 		ic := integrity.DefaultConfig()
 		c.Integrity = &ic
+		return nil
 	}
 }
 
 // WithIntegrityConfig attaches the retention-safety checker with an
 // explicit configuration.
 func WithIntegrityConfig(ic IntegrityConfig) RunOption {
-	return func(c *Config) { c.Integrity = &ic }
+	return func(c *Config) error { c.Integrity = &ic; return nil }
 }
 
 // WithResilience enables the graceful-degradation policy (implies the
 // integrity checker); stats land in Result.Resilience.
 func WithResilience(rc ResilienceConfig) RunOption {
-	return func(c *Config) { c.Resilience = &rc }
+	return func(c *Config) error { c.Resilience = &rc; return nil }
 }
+
+// Engine selects the run loop's cycle-advancement strategy; see the
+// package sim documentation for the skip algorithm.
+type Engine = sim.Engine
+
+// Supported engines. EventDriven (the default) steps active cycles and
+// jumps over provably inert spans; Stepped forces the classic
+// cycle-by-cycle reference loop. Both produce byte-identical Results.
+const (
+	EventDriven = sim.EventDriven
+	Stepped     = sim.Stepped
+)
+
+// WithEngine selects the run loop engine for this invocation.
+func WithEngine(e Engine) RunOption {
+	return func(c *Config) error { c.Engine = e; return nil }
+}
+
+// MechanismNames lists the names WithMechanism accepts, in the paper's
+// presentation order.
+func MechanismNames() []string { return []string{"mcr", "tldram", "nuat", "crow", "clr"} }
+
+// WithMechanism switches the configuration to the named latency-mechanism
+// backend using its representative default parameters: "mcr" (the paper's
+// device; keeps the configuration's Mode/Layout), "tldram", "nuat",
+// "crow" or "clr". Any other name fails with an error wrapping
+// ErrUnknownMechanism. For non-default backend parameters, set the
+// Config.DRAM fields directly instead.
+func WithMechanism(name string) RunOption {
+	return func(c *Config) error {
+		c.DRAM.TL, c.DRAM.NUAT, c.DRAM.CROW, c.DRAM.CLR = nil, nil, nil, nil
+		switch name {
+		case "mcr":
+			// Keep Mode/Layout: "mcr" with Mode off is conventional DRAM.
+		case "tldram":
+			tl := dram.DefaultTLConfig()
+			c.DRAM.Mode, c.DRAM.Layout = mcr.Off(), mcr.Layout{}
+			c.DRAM.TL = &tl
+		case "nuat":
+			n := dram.DefaultNUATConfig()
+			c.DRAM.Mode, c.DRAM.Layout = mcr.Off(), mcr.Layout{}
+			c.DRAM.NUAT = &n
+		case "crow":
+			cr := dram.DefaultCROWConfig()
+			c.DRAM.Mode, c.DRAM.Layout = mcr.Off(), mcr.Layout{}
+			c.DRAM.CROW = &cr
+		case "clr":
+			cl := dram.DefaultCLRConfig()
+			c.DRAM.Mode, c.DRAM.Layout = mcr.Off(), mcr.Layout{}
+			c.DRAM.CLR = &cl
+		default:
+			return fmt.Errorf("mcrdram: %w: %q (want one of mcr, tldram, nuat, crow, clr)",
+				mech.ErrUnknownMechanism, name)
+		}
+		return nil
+	}
+}
+
+// ErrUnknownMechanism marks a WithMechanism name no backend registers;
+// test with errors.Is.
+var ErrUnknownMechanism = mech.ErrUnknownMechanism
 
 // CheckpointConfig configures crash-safe periodic snapshots of the full
 // simulator state and resuming from them.
@@ -91,17 +159,19 @@ type CheckpointConfig = sim.CheckpointConfig
 // unreadable snapshot starts fresh). The file is removed when the run
 // completes, so a later identical invocation starts over instead of
 // replaying a finished run. A restored run produces a Result identical
-// to the uninterrupted one. Use WithCheckpointConfig for strict-resume
-// or notification hooks.
+// to the uninterrupted one — even when the engines differ across the
+// interruption, since snapshots carry no engine state. Use
+// WithCheckpointConfig for strict-resume or notification hooks.
 func WithCheckpoint(path string, everyNCycles int64) RunOption {
-	return func(c *Config) {
+	return func(c *Config) error {
 		c.Checkpoint = &sim.CheckpointConfig{Path: path, EveryNCycles: everyNCycles, Resume: true}
+		return nil
 	}
 }
 
 // WithCheckpointConfig attaches a fully specified checkpoint policy.
 func WithCheckpointConfig(ck CheckpointConfig) RunOption {
-	return func(c *Config) { c.Checkpoint = &ck }
+	return func(c *Config) error { c.Checkpoint = &ck; return nil }
 }
 
 // Run executes a configuration to completion, aborting early (with the
@@ -109,8 +179,11 @@ func WithCheckpointConfig(ck CheckpointConfig) RunOption {
 // context.Background().
 func Run(ctx context.Context, cfg Config, opts ...RunOption) (*Result, error) {
 	for _, o := range opts {
-		if o != nil {
-			o(&cfg)
+		if o == nil {
+			continue
+		}
+		if err := o(&cfg); err != nil {
+			return nil, err
 		}
 	}
 	return sim.RunContext(ctx, cfg)

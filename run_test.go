@@ -9,10 +9,11 @@ import (
 	mcrdram "repro"
 )
 
-// TestRunParityWithLegacyFacade pins the facade redesign: for a fixed
-// seed, the deprecated Simulate and the new Run produce byte-identical
-// WriteReport output.
-func TestRunParityWithLegacyFacade(t *testing.T) {
+// TestRunEngineReportParity pins the engine seam at the facade level: for
+// a fixed seed, the stepped reference loop and the event-driven engine
+// produce byte-identical WriteReport output (the report renders every
+// Result metric, so this is a whole-surface comparison).
+func TestRunEngineReportParity(t *testing.T) {
 	mode, err := mcrdram.NewMode(4, 4, 1.0)
 	if err != nil {
 		t.Fatal(err)
@@ -21,24 +22,24 @@ func TestRunParityWithLegacyFacade(t *testing.T) {
 	cfg.InstsPerCore = 120_000
 	cfg.Seed = 7
 
-	legacy, err := mcrdram.Simulate(cfg)
+	stepped, err := mcrdram.Run(context.Background(), cfg, mcrdram.WithEngine(mcrdram.Stepped))
 	if err != nil {
 		t.Fatal(err)
 	}
-	modern, err := mcrdram.Run(context.Background(), cfg)
+	event, err := mcrdram.Run(context.Background(), cfg, mcrdram.WithEngine(mcrdram.EventDriven))
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	var lbuf, mbuf bytes.Buffer
-	if err := mcrdram.WriteReport(&lbuf, cfg, legacy); err != nil {
+	var sbuf, ebuf bytes.Buffer
+	if err := mcrdram.WriteReport(&sbuf, cfg, stepped); err != nil {
 		t.Fatal(err)
 	}
-	if err := mcrdram.WriteReport(&mbuf, cfg, modern); err != nil {
+	if err := mcrdram.WriteReport(&ebuf, cfg, event); err != nil {
 		t.Fatal(err)
 	}
-	if !bytes.Equal(lbuf.Bytes(), mbuf.Bytes()) {
-		t.Errorf("Simulate and Run reports differ:\n-- legacy --\n%s\n-- modern --\n%s", lbuf.String(), mbuf.String())
+	if !bytes.Equal(sbuf.Bytes(), ebuf.Bytes()) {
+		t.Errorf("stepped and event-driven reports differ:\n-- stepped --\n%s\n-- event --\n%s", sbuf.String(), ebuf.String())
 	}
 }
 
